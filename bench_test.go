@@ -1,0 +1,151 @@
+package explain3d
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5). One benchmark per artifact:
+//
+//	Figure 4  → BenchmarkFig4DatasetStats
+//	Figure 6  → BenchmarkFig6AcademicUMass / BenchmarkFig6AcademicOSU
+//	Figure 7  → BenchmarkFig7IMDbAccuracy / BenchmarkFig7cTimeVsTuples
+//	Figure 8  → BenchmarkFig8aTuples / BenchmarkFig8bDifferenceRatio /
+//	            BenchmarkFig8cVocabulary
+//
+// The workloads are laptop-sized versions of the paper's sweeps (the
+// shapes — who wins, how curves scale — are what the harness validates;
+// run cmd/experiments for the full printed tables). Accuracy is reported
+// through b.ReportMetric as explF1/evidF1 custom metrics.
+
+import (
+	"testing"
+	"time"
+
+	"explain3d/internal/core"
+	"explain3d/internal/datagen"
+	"explain3d/internal/experiments"
+)
+
+func BenchmarkFig4DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunAcademic(datagen.UMassLike(), core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.P1 != 113 || rep.Stats.P2 != 81 {
+			b.Fatalf("stats deviate from Figure 4: %+v", rep.Stats)
+		}
+		b.ReportMetric(float64(rep.Stats.E), "goldE")
+		b.ReportMetric(float64(rep.Stats.ES), "summarizedE")
+	}
+}
+
+func benchmarkAcademic(b *testing.B, spec datagen.AcademicSpec) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunAcademic(spec, core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Method == experiments.MethodExplain3D {
+				b.ReportMetric(r.Expl.F1, "explF1")
+				b.ReportMetric(r.Evidence.F1, "evidF1")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6AcademicUMass(b *testing.B) { benchmarkAcademic(b, datagen.UMassLike()) }
+
+func BenchmarkFig6AcademicOSU(b *testing.B) { benchmarkAcademic(b, datagen.OSULike()) }
+
+func BenchmarkFig7IMDbAccuracy(b *testing.B) {
+	opt := experiments.IMDbOptions{
+		Spec:           datagen.IMDbSpec{Movies: 600, Seed: 23},
+		Instantiations: 1,
+		BatchSize:      1000,
+		Seed:           5,
+	}
+	methods := []string{experiments.MethodExplain3D, experiments.MethodGreedy, experiments.MethodThreshold}
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunIMDb(opt, core.DefaultParams(), methods)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Averages {
+			if r.Method == experiments.MethodExplain3D {
+				b.ReportMetric(r.Expl.F1, "explF1")
+				b.ReportMetric(r.Evidence.F1, "evidF1")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7cTimeVsTuples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.IMDbTimeSweep(
+			[]int{1000, 3000},
+			[]string{experiments.MethodExplain3D, experiments.MethodGreedy},
+			core.DefaultParams(), 1000, time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func benchmarkSyntheticSweep(b *testing.B, sw experiments.SyntheticSweep) {
+	for i := 0; i < b.N; i++ {
+		pts, err := sw.Run(core.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, p := range pts {
+			if !p.DNF && p.ExplF1 < worst {
+				worst = p.ExplF1
+			}
+		}
+		b.ReportMetric(worst, "worstExplF1")
+	}
+}
+
+func BenchmarkFig8aTuples(b *testing.B) {
+	benchmarkSyntheticSweep(b, experiments.SyntheticSweep{
+		Base:       datagen.SyntheticSpec{D: 0.2, V: 1000, Seed: 41},
+		Ns:         []int{100, 300, 1000},
+		BatchSizes: []int{0, 100, 1000},
+		Budget:     time.Minute,
+	})
+}
+
+func BenchmarkFig8bDifferenceRatio(b *testing.B) {
+	benchmarkSyntheticSweep(b, experiments.SyntheticSweep{
+		Base:       datagen.SyntheticSpec{N: 500, V: 1000, Seed: 43},
+		Ds:         []float64{0.1, 0.3, 0.5},
+		BatchSizes: []int{0, 100},
+		Budget:     time.Minute,
+	})
+}
+
+func BenchmarkFig8cVocabulary(b *testing.B) {
+	benchmarkSyntheticSweep(b, experiments.SyntheticSweep{
+		Base:       datagen.SyntheticSpec{N: 500, D: 0.2, Seed: 47},
+		Vs:         []int{100, 1000, 10000},
+		BatchSizes: []int{0, 100},
+		Budget:     time.Minute,
+	})
+}
+
+// BenchmarkPipelineEndToEnd measures the public API on the Figure 1
+// example, the smallest end-to-end unit of work.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	db1, db2 := figure1Databases()
+	for i := 0; i < b.N; i++ {
+		if _, err := Explain(db1, db2,
+			"SELECT COUNT(Program) FROM D1",
+			"SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+			"Program == Major", &Options{NoSummary: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command datagen emits the evaluation datasets as CSV files so they can
+// be inspected or fed to the explain3d CLI.
+//
+// Usage:
+//
+//	datagen -kind academic -out ./data           # UMass-like pair
+//	datagen -kind synthetic -n 1000 -d 0.2 -v 1000 -out ./data
+//	datagen -kind imdb -movies 2000 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"explain3d/internal/datagen"
+	"explain3d/internal/relation"
+)
+
+var (
+	kind   = flag.String("kind", "academic", "dataset kind: academic|osu|synthetic|imdb")
+	outDir = flag.String("out", "data", "output directory")
+	n      = flag.Int("n", 1000, "synthetic: number of tuples")
+	d      = flag.Float64("d", 0.2, "synthetic: difference ratio")
+	v      = flag.Int("v", 1000, "synthetic: vocabulary size")
+	movies = flag.Int("movies", 2000, "imdb: number of movies")
+	seed   = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	var db1, db2 *relation.Database
+	var q1, q2, matches string
+	switch *kind {
+	case "academic", "osu":
+		spec := datagen.UMassLike()
+		if *kind == "osu" {
+			spec = datagen.OSULike()
+		}
+		a := datagen.GenerateAcademic(spec)
+		db1, db2 = a.DB1, a.DB2
+		q1, q2 = a.Q1.String(), a.Q2.String()
+		matches = a.Mattr[0].String()
+	case "synthetic":
+		s := datagen.GenerateSynthetic(datagen.SyntheticSpec{N: *n, D: *d, V: *v, Seed: *seed})
+		db1, db2 = s.DB1, s.DB2
+		q1, q2 = s.Q1.String(), s.Q2.String()
+		matches = s.Mattr[0].String()
+	case "imdb":
+		im, err := datagen.GenerateIMDb(datagen.IMDbSpec{Movies: *movies, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		db1, db2 = im.DB1, im.DB2
+		tpl := datagen.Templates()[4]
+		qq1, qq2, mm, err := tpl.Instantiate("2000")
+		if err != nil {
+			fatal(err)
+		}
+		q1, q2 = qq1.String(), qq2.String()
+		for i, m := range mm {
+			if i > 0 {
+				matches += "\n"
+			}
+			matches += m.String()
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	for side, db := range map[string]*relation.Database{"db1": db1, "db2": db2} {
+		for _, rel := range db.Relations() {
+			path := filepath.Join(*outDir, side, rel.Name+".csv")
+			if err := rel.WriteCSVFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", path, rel.Len())
+		}
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "matches.txt"), []byte(matches+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nExample invocation:\n  explain3d -db1 %s/db1 -db2 %s/db2 -matches %s/matches.txt \\\n    -q1 %q \\\n    -q2 %q\n",
+		*outDir, *outDir, *outDir, q1, q2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

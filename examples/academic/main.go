@@ -1,0 +1,70 @@
+// The academic example recreates Example 1 of the paper: a university's
+// own catalog and a statistics agency's dataset disagree on the number of
+// undergraduate programs. The datasets are generated with the repository's
+// academic workload generator (sized like the paper's UMass-vs-NCES pair:
+// 113 catalog rows vs 81 agency programs), then explained through the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"explain3d"
+	"explain3d/internal/datagen"
+)
+
+func main() {
+	pair := datagen.GenerateAcademic(datagen.UMassLike())
+
+	// Re-load the generated relations through the public API.
+	db1 := explain3d.NewDatabase("catalog")
+	for _, rel := range pair.DB1.Relations() {
+		t := db1.AddTable(rel.Name, rel.ColumnNames()...)
+		for _, row := range rel.Rows {
+			vals := make([]any, len(row))
+			for i, v := range row {
+				vals[i] = v
+			}
+			t.AddRow(vals...)
+		}
+	}
+	db2 := explain3d.NewDatabase("agency")
+	for _, rel := range pair.DB2.Relations() {
+		t := db2.AddTable(rel.Name, rel.ColumnNames()...)
+		for _, row := range rel.Rows {
+			vals := make([]any, len(row))
+			for i, v := range row {
+				vals[i] = v
+			}
+			t.AddRow(vals...)
+		}
+	}
+
+	// Batch size 100 keeps every optimization sub-problem small: the
+	// uncalibrated similarity mapping of this example links many programs
+	// through shared words ("Science", "Engineering", ...), which would
+	// otherwise form one large connected component.
+	res, err := explain3d.Explain(db1, db2,
+		pair.Q1.String(), pair.Q2.String(),
+		pair.Mattr[0].String(),
+		&explain3d.Options{BatchSize: 100, SolverTimeout: 15 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("catalog count = %s, agency sum = %s\n\n", res.Result1, res.Result2)
+	fmt.Printf("%d explanations; first 10:\n", len(res.Explanations))
+	for i, e := range res.Explanations {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("\nStage-3 summary of the disagreement:")
+	for _, s := range res.Summary {
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("\n(evidence mapping holds %d matched program pairs)\n", len(res.Evidence))
+}

@@ -1,0 +1,56 @@
+// The imdb example reproduces the paper's IMDb workload (Section 5.1.1):
+// one base movie dataset exposed through two views with different schemas
+// — view 1 flattens each movie to a single genre/country (losing data),
+// view 2 stores attributes as entity–attribute–value rows — with ~5%
+// BART-style random errors injected into both. It then explains why the
+// two views disagree on the number of comedies released in a year.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"explain3d/internal/core"
+	"explain3d/internal/datagen"
+	"explain3d/internal/query"
+)
+
+func main() {
+	im, err := datagen.GenerateIMDb(datagen.IMDbSpec{Movies: 1200, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated two views of the same movie data (%d injected errors in view 1, %d in view 2)\n\n",
+		len(im.Errors1), len(im.Errors2))
+
+	// Template Q3: number of comedies released in 1995.
+	tpl := datagen.Templates()[2]
+	q1, q2, mattr, err := tpl.Instantiate("1995")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v1, err := query.RunScalar(q1, im.DB1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v2, err := query.RunScalar(q2, im.DB2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view 1: %s → %v\n", q1, v1)
+	fmt.Printf("view 2: %s → %v\n\n", q2, v2)
+
+	res, err := core.Explain(core.Input{
+		DB1: im.DB1, DB2: im.DB2, Q1: q1, Q2: q2, Mattr: mattr,
+	}, core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Describe(res.Expl))
+
+	fmt.Println("\nWhy the views disagree, structurally:")
+	fmt.Println("  • view 1 keeps only each movie's primary genre, so secondary-genre")
+	fmt.Println("    comedies appear only in view 2 (provenance-based explanations);")
+	fmt.Println("  • ~5% of cells were corrupted in both views, perturbing titles and")
+	fmt.Println("    genre labels (more provenance-based explanations).")
+}

@@ -1,0 +1,39 @@
+// The synthetic example demonstrates the smart-partitioning optimizer
+// (Section 4 of the paper): the same disagreement-explanation problem is
+// solved without partitioning (NoOpt) and with batch sizes 100 and 1000,
+// showing the accuracy/efficiency trade-off of Figure 8 on a single
+// generated dataset pair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"explain3d/internal/core"
+	"explain3d/internal/datagen"
+	"explain3d/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.SyntheticConfig{
+		Spec:       datagen.SyntheticSpec{N: 2000, D: 0.2, V: 500, Seed: 13},
+		BatchSizes: []int{0, 100, 1000},
+		Budget:     2 * time.Minute,
+	}
+	fmt.Printf("synthetic pair: n=%d tuples, difference ratio d=%.1f, vocabulary v=%d\n\n",
+		cfg.Spec.N, cfg.Spec.D, cfg.Spec.V)
+
+	points, err := experiments.RunSyntheticPoint(cfg, core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %12s %12s %10s %10s %12s\n", "method", "solve time", "partitions", "expl F1", "evid F1", "B&B nodes")
+	for _, p := range points {
+		fmt.Printf("%-12s %12s %12d %10.3f %10.3f %12d\n",
+			p.Method, p.SolveTime.Round(time.Millisecond), p.Stats.Partitions, p.ExplF1, p.EvidF1, p.Stats.Nodes)
+	}
+	fmt.Println("\nPartitioning bounds every MILP to the batch size, trading (at most)")
+	fmt.Println("a sliver of accuracy — only low-probability matches are ever cut —")
+	fmt.Println("for solve times that stay linear in the data size.")
+}

@@ -1,0 +1,312 @@
+// Package explain3d explains disagreements between the results of two
+// semantically similar SQL queries over two disjoint datasets, implementing
+// Wang & Meliou, "Explain3D: Explaining Disagreements in Disjoint Datasets"
+// (VLDB 2019).
+//
+// Given two databases, two queries that should return the same answer, and
+// attribute matches describing how the schemas correspond, Explain derives:
+//
+//   - provenance-based explanations — tuples on one side with no
+//     counterpart on the other;
+//   - value-based explanations — tuples whose impact (contribution to the
+//     query result) is wrong;
+//   - an evidence mapping — the refined tuple correspondence that supports
+//     the explanations, making them interpretable;
+//   - pattern summaries of the explanations (Stage 3).
+//
+// The optimal explanations are found by translating the problem to a mixed
+// integer linear program (solved by the built-in solver) after
+// canonicalizing the queries' provenance; large problems are decomposed by
+// the smart-partitioning optimizer.
+//
+// Quick start:
+//
+//	db1 := explain3d.NewDatabase("catalog")
+//	majors := db1.AddTable("Major", "Program", "Degree")
+//	majors.AddRow("CS", "B.S.")
+//	majors.AddRow("CS", "B.A.")
+//	// ... fill db2 ...
+//	res, err := explain3d.Explain(db1, db2,
+//	    "SELECT COUNT(Program) FROM Major",
+//	    "SELECT SUM(bach_degr) FROM Stats",
+//	    "Major.Program <= Stats.Program", nil)
+package explain3d
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"explain3d/internal/core"
+	"explain3d/internal/experiments"
+	"explain3d/internal/query"
+	"explain3d/internal/relation"
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+	"explain3d/internal/summarize"
+)
+
+// Database is a named collection of in-memory tables.
+type Database struct {
+	db *relation.Database
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{db: relation.NewDatabase(name)}
+}
+
+// Table is one relation under construction.
+type Table struct {
+	rel *relation.Relation
+}
+
+// AddTable registers a new table with the given column names and returns
+// it for row insertion.
+func (d *Database) AddTable(name string, columns ...string) *Table {
+	rel := relation.New(name, columns...)
+	d.db.Add(rel)
+	return &Table{rel: rel}
+}
+
+// LoadCSV registers a table from a CSV file (header row required, values
+// type-inferred). The table is named after the file's base name.
+func (d *Database) LoadCSV(path string) error {
+	rel, err := relation.ReadCSVFile(path)
+	if err != nil {
+		return err
+	}
+	d.db.Add(rel)
+	return nil
+}
+
+// AddRow appends a row; values may be string, int, int64, float64, bool,
+// or nil for NULL.
+func (t *Table) AddRow(values ...any) *Table {
+	t.rel.Append(values...)
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.rel.Len() }
+
+// Options tunes the explanation framework. The zero value (or nil) uses
+// the paper's defaults.
+type Options struct {
+	// Alpha is the prior probability that a tuple is covered by both
+	// datasets; Beta that its impact is correct. Defaults 0.9 each.
+	Alpha, Beta float64
+	// BatchSize > 0 enables the smart-partitioning optimizer with the
+	// given maximum sub-problem size (Section 4 of the paper). 0 solves
+	// the problem whole.
+	BatchSize int
+	// SolverTimeout bounds the optimization stage; on expiry the best
+	// explanations found so far are returned and Result.TimedOut is set.
+	// Default 60s; negative disables the budget entirely.
+	SolverTimeout time.Duration
+	// Summarize controls Stage 3 (pattern summaries); default true.
+	NoSummary bool
+}
+
+// ExplanationKind distinguishes the two explanation types.
+type ExplanationKind string
+
+const (
+	// MissingTuple is a provenance-based explanation (t ∈ Δ).
+	MissingTuple ExplanationKind = "missing-tuple"
+	// WrongValue is a value-based explanation (t.I ↦ t.I*).
+	WrongValue ExplanationKind = "wrong-value"
+)
+
+// Explanation is one explanation in human-readable terms.
+type Explanation struct {
+	Kind ExplanationKind
+	// Query is 1 or 2: which query's provenance the tuple belongs to.
+	Query int
+	// Tuple renders the canonical tuple (its matching-attribute values).
+	Tuple string
+	// Impact is the tuple's contribution; NewImpact the corrected value
+	// for WrongValue explanations.
+	Impact, NewImpact float64
+}
+
+// String renders the explanation.
+func (e Explanation) String() string {
+	if e.Kind == MissingTuple {
+		return fmt.Sprintf("[Q%d] %q (impact %v) has no counterpart", e.Query, e.Tuple, e.Impact)
+	}
+	return fmt.Sprintf("[Q%d] %q impact should be %v, not %v", e.Query, e.Tuple, e.NewImpact, e.Impact)
+}
+
+// MatchedPair is one evidence-mapping entry.
+type MatchedPair struct {
+	Tuple1, Tuple2 string
+	Probability    float64
+}
+
+// Result is the full output of Explain.
+type Result struct {
+	// Result1 and Result2 are the two queries' answers.
+	Result1, Result2 string
+	// Explanations lists the optimal explanations for the disagreement.
+	Explanations []Explanation
+	// Evidence is the refined tuple mapping supporting the explanations.
+	Evidence []MatchedPair
+	// Summary holds Stage-3 pattern summaries (one line each).
+	Summary []string
+	// TimedOut reports that the solver budget expired and the result is
+	// the best incumbent rather than a proven optimum.
+	TimedOut bool
+
+	res *core.Result
+}
+
+// Explain runs the full three-stage framework: provenance extraction and
+// canonicalization, initial tuple mapping, MILP-based optimal explanation
+// derivation, and summarization. The matches argument uses the syntax
+// "attr OP attr" per line with OP in {==, <=, >=} (≡, ⊑, ⊒).
+func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Result, error) {
+	q1, err := sqlparse.Parse(sql1)
+	if err != nil {
+		return nil, fmt.Errorf("explain3d: query 1: %w", err)
+	}
+	q2, err := sqlparse.Parse(sql2)
+	if err != nil {
+		return nil, fmt.Errorf("explain3d: query 2: %w", err)
+	}
+	mattr, err := schemamap.ParseAll(matches)
+	if err != nil {
+		return nil, fmt.Errorf("explain3d: attribute matches: %w", err)
+	}
+	if !mattr.Comparable() {
+		return nil, fmt.Errorf("explain3d: queries are not comparable (no attribute matches)")
+	}
+	params := core.DefaultParams()
+	params.SolverTimeLimit = 60 * time.Second
+	if opts != nil {
+		if opts.Alpha != 0 {
+			params.Alpha = opts.Alpha
+		}
+		if opts.Beta != 0 {
+			params.Beta = opts.Beta
+		}
+		params.BatchSize = opts.BatchSize
+		if opts.SolverTimeout > 0 {
+			params.SolverTimeLimit = opts.SolverTimeout
+		} else if opts.SolverTimeout < 0 {
+			params.SolverTimeLimit = 0
+		}
+	}
+	res, err := core.Explain(core.Input{
+		DB1: db1.db, DB2: db2.db, Q1: q1, Q2: q2, Mattr: mattr,
+	}, params)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Result1:  res.Prov1.Result.String(),
+		Result2:  res.Prov2.Result.String(),
+		TimedOut: res.Stats.TimedOut,
+		res:      res,
+	}
+	for _, pe := range res.Expl.Prov {
+		canon, q := res.T1, 1
+		if pe.Side == core.Right {
+			canon, q = res.T2, 2
+		}
+		out.Explanations = append(out.Explanations, Explanation{
+			Kind: MissingTuple, Query: q,
+			Tuple: canon.Keys[pe.Tuple], Impact: canon.Impacts[pe.Tuple],
+		})
+	}
+	for _, ve := range res.Expl.Val {
+		canon, q := res.T1, 1
+		if ve.Side == core.Right {
+			canon, q = res.T2, 2
+		}
+		out.Explanations = append(out.Explanations, Explanation{
+			Kind: WrongValue, Query: q,
+			Tuple: canon.Keys[ve.Tuple], Impact: canon.Impacts[ve.Tuple],
+			NewImpact: ve.NewImpact,
+		})
+	}
+	for _, ev := range res.Expl.Evidence {
+		out.Evidence = append(out.Evidence, MatchedPair{
+			Tuple1: res.T1.Keys[ev.L], Tuple2: res.T2.Keys[ev.R], Probability: ev.P,
+		})
+	}
+	if opts == nil || !opts.NoSummary {
+		out.Summary = summarizeResult(res)
+	}
+	return out, nil
+}
+
+// summarizeResult runs Stage 3 over both sides' derived explanations.
+func summarizeResult(res *core.Result) []string {
+	var lines []string
+	for _, side := range []core.Side{core.Left, core.Right} {
+		q := 1
+		if side == core.Right {
+			q = 2
+		}
+		for _, p := range experiments.SummarizeSide(res, res.Expl, side) {
+			lines = append(lines, fmt.Sprintf("[Q%d] %s (%d tuples, %d false positives)", q, p, p.Covered, p.FalsePos))
+		}
+	}
+	return lines
+}
+
+// RunQuery evaluates a single SQL query against a database; aggregate
+// queries return their scalar result, others the number of result rows.
+// It is a convenience for checking whether two queries disagree at all.
+func RunQuery(db *Database, sql string) (string, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if sel.Aggregate() != nil {
+		v, err := query.RunScalar(sel, db.db)
+		if err != nil {
+			return "", err
+		}
+		return v.String(), nil
+	}
+	rel, err := query.Run(sel, db.db)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d rows", rel.Len()), nil
+}
+
+// SummaryOptions re-exports the Stage-3 cost knobs for advanced users.
+type SummaryOptions = summarize.Options
+
+// WriteCSV saves a table for interchange with the CLI tools.
+func (t *Table) WriteCSV(path string) error {
+	return t.rel.WriteCSVFile(path)
+}
+
+// MustLoadCSVDir loads every *.csv file in a directory as a table, used by
+// the command-line tools; it exits the process on failure.
+func (d *Database) MustLoadCSVDir(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explain3d: %v\n", err)
+		os.Exit(1)
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || len(e.Name()) < 5 || e.Name()[len(e.Name())-4:] != ".csv" {
+			continue
+		}
+		if err := d.LoadCSV(dir + "/" + e.Name()); err != nil {
+			fmt.Fprintf(os.Stderr, "explain3d: %v\n", err)
+			os.Exit(1)
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		fmt.Fprintf(os.Stderr, "explain3d: no CSV files in %s\n", dir)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,190 @@
+package explain3d
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Databases builds D1 and D2 of the paper's Figure 1.
+func figure1Databases() (*Database, *Database) {
+	db1 := NewDatabase("D1")
+	d1 := db1.AddTable("D1", "Program", "Degree")
+	d1.AddRow("Accounting", "B.S.")
+	d1.AddRow("CS", "B.A.")
+	d1.AddRow("CS", "B.S.")
+	d1.AddRow("ECE", "B.S.")
+	d1.AddRow("EE", "B.S.")
+	d1.AddRow("Management", "B.A.")
+	d1.AddRow("Design", "B.A.")
+
+	db2 := NewDatabase("D2")
+	d2 := db2.AddTable("D2", "Univ", "Major")
+	d2.AddRow("A", "Accounting")
+	d2.AddRow("A", "CSE")
+	d2.AddRow("A", "ECE")
+	d2.AddRow("A", "EE")
+	d2.AddRow("A", "Management")
+	d2.AddRow("A", "Design")
+	d2.AddRow("B", "Art")
+	return db1, db2
+}
+
+func TestExplainFigure1(t *testing.T) {
+	db1, db2 := figure1Databases()
+	res, err := Explain(db1, db2,
+		"SELECT COUNT(Program) FROM D1",
+		"SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+		"Program == Major", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result1 != "7" || res.Result2 != "6" {
+		t.Fatalf("results = %s vs %s, want 7 vs 6", res.Result1, res.Result2)
+	}
+	// The token-based initial mapping cannot propose CS↔CSE (no shared
+	// token — the same initial-mapping miss the paper reports on its
+	// academic data), so the optimal explanation flags both tuples as
+	// unmatched. Every other program pairs exactly.
+	if len(res.Explanations) != 2 {
+		t.Fatalf("explanations = %v", res.Explanations)
+	}
+	for _, e := range res.Explanations {
+		if e.Kind != MissingTuple || (e.Tuple != "CS" && e.Tuple != "CSE") {
+			t.Fatalf("explanation = %+v", e)
+		}
+	}
+	if len(res.Evidence) != 5 {
+		t.Fatalf("evidence = %d pairs, want 5", len(res.Evidence))
+	}
+	if res.TimedOut {
+		t.Fatal("unexpected timeout")
+	}
+}
+
+// TestExplainFigure1WithMapping mirrors Example 2: when the initial
+// mapping does propose CS↔CSE (as a record-linkage system with synonyms
+// would), explain3d selects it and derives the value-based explanation of
+// the CS double count.
+func TestExplainFigure1WithMapping(t *testing.T) {
+	db1, db2 := figure1Databases()
+	// Seed the mapping by spelling the major the same way on both sides.
+	db2b := NewDatabase("D2")
+	d2 := db2b.AddTable("D2", "Univ", "Major")
+	d2.AddRow("A", "Accounting")
+	d2.AddRow("A", "CS")
+	d2.AddRow("A", "ECE")
+	d2.AddRow("A", "EE")
+	d2.AddRow("A", "Management")
+	d2.AddRow("A", "Design")
+	res, err := Explain(db1, db2b,
+		"SELECT COUNT(Program) FROM D1",
+		"SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+		"Program == Major", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db2
+	if len(res.Explanations) != 1 || res.Explanations[0].Kind != WrongValue {
+		t.Fatalf("explanations = %v", res.Explanations)
+	}
+	if len(res.Evidence) != 6 {
+		t.Fatalf("evidence = %d pairs, want 6", len(res.Evidence))
+	}
+}
+
+func TestExplainContainment(t *testing.T) {
+	db1, _ := figure1Databases()
+	db3 := NewDatabase("D3")
+	d3 := db3.AddTable("D3", "College", "Num_bach")
+	d3.AddRow("Business", 2)
+	d3.AddRow("Engineering", 2)
+	d3.AddRow("Computer Science", 1)
+	res, err := Explain(db1, db3,
+		"SELECT COUNT(Program) FROM D1",
+		"SELECT SUM(Num_bach) FROM D3",
+		"Program <= College", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result1 != "7" || res.Result2 != "5" {
+		t.Fatalf("results = %s vs %s", res.Result1, res.Result2)
+	}
+	// The automatically derived mapping has little token overlap between
+	// program names and college names, so several programs lack
+	// counterparts; the explanation set must cover the difference of 2.
+	if len(res.Explanations) == 0 {
+		t.Fatal("no explanations for a disagreement of 2")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db1, db2 := figure1Databases()
+	if _, err := Explain(db1, db2, "NOT SQL", "SELECT COUNT(Major) FROM D2", "Program == Major", nil); err == nil {
+		t.Fatal("bad SQL should fail")
+	}
+	if _, err := Explain(db1, db2, "SELECT COUNT(Program) FROM D1", "SELECT COUNT(Major) FROM D2", "", nil); err == nil {
+		t.Fatal("empty matches should fail (not comparable)")
+	}
+	if _, err := Explain(db1, db2, "SELECT COUNT(Program) FROM D1", "SELECT COUNT(Major) FROM D2", "garbage", nil); err == nil {
+		t.Fatal("unparseable matches should fail")
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	db1, _ := figure1Databases()
+	got, err := RunQuery(db1, "SELECT COUNT(Program) FROM D1")
+	if err != nil || got != "7" {
+		t.Fatalf("RunQuery = (%q, %v)", got, err)
+	}
+	got, err = RunQuery(db1, "SELECT Program FROM D1 WHERE Degree = 'B.A.'")
+	if err != nil || got != "3 rows" {
+		t.Fatalf("RunQuery rows = (%q, %v)", got, err)
+	}
+	if _, err := RunQuery(db1, "SELECT x FROM nope"); err == nil {
+		t.Fatal("bad query should fail")
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	m := Explanation{Kind: MissingTuple, Query: 1, Tuple: "Design", Impact: 1}
+	if !strings.Contains(m.String(), "no counterpart") {
+		t.Fatalf("render = %s", m)
+	}
+	v := Explanation{Kind: WrongValue, Query: 2, Tuple: "CS", Impact: 1, NewImpact: 2}
+	if !strings.Contains(v.String(), "should be 2") {
+		t.Fatalf("render = %s", v)
+	}
+}
+
+func TestOptionsApplied(t *testing.T) {
+	db1, db2 := figure1Databases()
+	res, err := Explain(db1, db2,
+		"SELECT COUNT(Program) FROM D1",
+		"SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+		"Program == Major",
+		&Options{Alpha: 0.95, Beta: 0.95, BatchSize: 4, NoSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary != nil {
+		t.Fatal("NoSummary should suppress Stage 3")
+	}
+}
+
+func TestCSVRoundTripThroughAPI(t *testing.T) {
+	dir := t.TempDir()
+	db1, _ := figure1Databases()
+	tbl := db1.AddTable("Extra", "a", "b")
+	tbl.AddRow("x", 1)
+	if err := tbl.WriteCSV(dir + "/Extra.csv"); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase("re")
+	if err := db.LoadCSV(dir + "/Extra.csv"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunQuery(db, "SELECT COUNT(a) FROM Extra")
+	if err != nil || got != "1" {
+		t.Fatalf("reloaded query = (%q, %v)", got, err)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"explain3d/internal/query"
+	"explain3d/internal/relation"
+	"explain3d/internal/sqlparse"
+)
+
+// Canonical is a canonical relation T (Definition 3.1): provenance tuples
+// grouped by the matching attributes with impacts summed. Queries with
+// AVG/MAX/MIN aggregation skip grouping because they require a strict
+// one-to-one mapping.
+type Canonical struct {
+	// Rel holds one row per canonical tuple: the matching attributes
+	// followed by the summed impact column I.
+	Rel *relation.Relation
+	// Impacts caches the impact column as floats.
+	Impacts []float64
+	// Keys are display identifiers (the matching-attribute values joined).
+	Keys []string
+	// SourceRows lists, per canonical tuple, the provenance row indexes it
+	// consolidates.
+	SourceRows [][]int
+	// MatchIdx are the column indexes of the matching attributes in Rel.
+	MatchIdx []int
+}
+
+// Len returns the number of canonical tuples.
+func (c *Canonical) Len() int { return len(c.Impacts) }
+
+// TotalImpact sums all impacts.
+func (c *Canonical) TotalImpact() float64 {
+	t := 0.0
+	for _, i := range c.Impacts {
+		t += i
+	}
+	return t
+}
+
+// strictAggregate reports whether the aggregate demands a one-to-one
+// mapping (no consolidation).
+func strictAggregate(agg sqlparse.AggFunc) bool {
+	switch agg {
+	case sqlparse.AggAvg, sqlparse.AggMax, sqlparse.AggMin:
+		return true
+	default:
+		return false
+	}
+}
+
+// Canonicalize derives the canonical relation of a provenance relation
+// over the given matching attributes (T = π_{A,I}(γ_{A, SUM(I)}(P))).
+func Canonicalize(p *query.Provenance, attrs []string) (*Canonical, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("core: canonicalization requires at least one matching attribute (queries not comparable)")
+	}
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, err := p.Rel.Schema.Index(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: matching attribute %q not in provenance: %w", a, err)
+		}
+		idx[i] = j
+	}
+	impactIdx, err := p.Rel.Schema.Index(query.ImpactColumn)
+	if err != nil {
+		return nil, fmt.Errorf("core: provenance relation lacks impact column: %w", err)
+	}
+
+	cols := make([]string, 0, len(attrs)+1)
+	for _, a := range attrs {
+		cols = append(cols, a)
+	}
+	cols = append(cols, query.ImpactColumn)
+	out := &Canonical{Rel: relation.New("T", cols...)}
+	for i := range attrs {
+		out.MatchIdx = append(out.MatchIdx, i)
+	}
+
+	strict := strictAggregate(p.Agg)
+	groups := make(map[string]int)
+	for rowID, row := range p.Rel.Rows {
+		impact, ok := row[impactIdx].AsFloat()
+		if !ok {
+			return nil, fmt.Errorf("core: non-numeric impact %v in provenance row %d", row[impactIdx], rowID)
+		}
+		key := row.Key(idx)
+		if strict {
+			// Strict aggregates keep every provenance tuple distinct.
+			key = fmt.Sprintf("%s\x00#%d", key, rowID)
+		}
+		gi, exists := groups[key]
+		if !exists {
+			gi = out.Len()
+			groups[key] = gi
+			rec := make(relation.Tuple, 0, len(idx)+1)
+			var keyParts []string
+			for _, c := range idx {
+				rec = append(rec, row[c])
+				keyParts = append(keyParts, row[c].String())
+			}
+			rec = append(rec, relation.Float(impact))
+			out.Rel.Rows = append(out.Rel.Rows, rec)
+			out.Impacts = append(out.Impacts, impact)
+			out.Keys = append(out.Keys, strings.Join(keyParts, " / "))
+			out.SourceRows = append(out.SourceRows, []int{rowID})
+			continue
+		}
+		out.Impacts[gi] += impact
+		out.Rel.Rows[gi][len(idx)] = relation.Float(out.Impacts[gi])
+		out.SourceRows[gi] = append(out.SourceRows[gi], rowID)
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// impactTol is the tolerance under which two impacts are considered equal.
+const impactTol = 1e-6
+
+// ExplanationsFromEvidence derives explanations the way the paper's
+// record-linkage baselines do (Section 5.1.3): tuples without a match in
+// the evidence become provenance-based explanations; connected components
+// whose two sides disagree on total impact yield a value-based explanation
+// on the component's dominant right-side tuple (or left-side when the
+// right side is empty).
+func ExplanationsFromEvidence(inst *Instance, evidence []Evidence) *Explanations {
+	out := &Explanations{Evidence: append([]Evidence(nil), evidence...)}
+	matchedL := make(map[int]bool)
+	matchedR := make(map[int]bool)
+	for _, ev := range evidence {
+		matchedL[ev.L] = true
+		matchedR[ev.R] = true
+	}
+	for i := 0; i < inst.T1.Len(); i++ {
+		if !matchedL[i] {
+			out.Prov = append(out.Prov, ProvExpl{Side: Left, Tuple: i})
+		}
+	}
+	for j := 0; j < inst.T2.Len(); j++ {
+		if !matchedR[j] {
+			out.Prov = append(out.Prov, ProvExpl{Side: Right, Tuple: j})
+		}
+	}
+	// Union-find over evidence to form components.
+	parent := make(map[[2]int][2]int)
+	var find func(k [2]int) [2]int
+	find = func(k [2]int) [2]int {
+		p, ok := parent[k]
+		if !ok || p == k {
+			return k
+		}
+		root := find(p)
+		parent[k] = root
+		return root
+	}
+	union := func(a, b [2]int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	nodeL := func(i int) [2]int { return [2]int{0, i} }
+	nodeR := func(j int) [2]int { return [2]int{1, j} }
+	for _, ev := range evidence {
+		union(nodeL(ev.L), nodeR(ev.R))
+	}
+	type comp struct {
+		ls, rs []int
+	}
+	comps := make(map[[2]int]*comp)
+	for i := range matchedL {
+		root := find(nodeL(i))
+		if comps[root] == nil {
+			comps[root] = &comp{}
+		}
+		comps[root].ls = append(comps[root].ls, i)
+	}
+	for j := range matchedR {
+		root := find(nodeR(j))
+		if comps[root] == nil {
+			comps[root] = &comp{}
+		}
+		comps[root].rs = append(comps[root].rs, j)
+	}
+	roots := make([][2]int, 0, len(comps))
+	for r := range comps {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool {
+		if roots[a][0] != roots[b][0] {
+			return roots[a][0] < roots[b][0]
+		}
+		return roots[a][1] < roots[b][1]
+	})
+	for _, r := range roots {
+		c := comps[r]
+		sumL, sumR := 0.0, 0.0
+		for _, i := range c.ls {
+			sumL += inst.T1.Impacts[i]
+		}
+		for _, j := range c.rs {
+			sumR += inst.T2.Impacts[j]
+		}
+		if math.Abs(sumL-sumR) <= impactTol {
+			continue
+		}
+		// Attach the correction to the largest-impact right tuple (the
+		// aggregated side in ⊑ mappings), falling back to the left.
+		if len(c.rs) > 0 {
+			best := c.rs[0]
+			for _, j := range c.rs {
+				if math.Abs(inst.T2.Impacts[j]) > math.Abs(inst.T2.Impacts[best]) {
+					best = j
+				}
+			}
+			out.Val = append(out.Val, ValExpl{
+				Side: Right, Tuple: best,
+				NewImpact: inst.T2.Impacts[best] + (sumL - sumR),
+			})
+		} else if len(c.ls) > 0 {
+			best := c.ls[0]
+			out.Val = append(out.Val, ValExpl{
+				Side: Left, Tuple: best,
+				NewImpact: inst.T1.Impacts[best] + (sumR - sumL),
+			})
+		}
+	}
+	sortExplanations(out)
+	return out
+}
+
+func sortExplanations(e *Explanations) {
+	sort.Slice(e.Prov, func(a, b int) bool {
+		if e.Prov[a].Side != e.Prov[b].Side {
+			return e.Prov[a].Side < e.Prov[b].Side
+		}
+		return e.Prov[a].Tuple < e.Prov[b].Tuple
+	})
+	sort.Slice(e.Val, func(a, b int) bool {
+		if e.Val[a].Side != e.Val[b].Side {
+			return e.Val[a].Side < e.Val[b].Side
+		}
+		return e.Val[a].Tuple < e.Val[b].Tuple
+	})
+	sort.Slice(e.Evidence, func(a, b int) bool {
+		if e.Evidence[a].L != e.Evidence[b].L {
+			return e.Evidence[a].L < e.Evidence[b].L
+		}
+		return e.Evidence[a].R < e.Evidence[b].R
+	})
+}
+
+// CheckComplete verifies the completeness properties of Definition 3.4:
+// the evidence is a valid mapping (Definition 3.2) over the refined
+// canonical relations, deleted tuples carry no matches or value changes,
+// every kept tuple is matched, and every connected component satisfies
+// impact equality (Definition 3.3) after applying the value-based
+// explanations.
+func CheckComplete(inst *Instance, e *Explanations) error {
+	deletedL := make(map[int]bool)
+	deletedR := make(map[int]bool)
+	for _, pe := range e.Prov {
+		if pe.Side == Left {
+			deletedL[pe.Tuple] = true
+		} else {
+			deletedR[pe.Tuple] = true
+		}
+	}
+	newL := make(map[int]float64)
+	newR := make(map[int]float64)
+	for _, ve := range e.Val {
+		if ve.Side == Left {
+			if deletedL[ve.Tuple] {
+				return fmt.Errorf("core: left tuple %d is both deleted and value-corrected", ve.Tuple)
+			}
+			newL[ve.Tuple] = ve.NewImpact
+		} else {
+			if deletedR[ve.Tuple] {
+				return fmt.Errorf("core: right tuple %d is both deleted and value-corrected", ve.Tuple)
+			}
+			newR[ve.Tuple] = ve.NewImpact
+		}
+	}
+	impactL := func(i int) float64 {
+		if v, ok := newL[i]; ok {
+			return v
+		}
+		return inst.T1.Impacts[i]
+	}
+	impactR := func(j int) float64 {
+		if v, ok := newR[j]; ok {
+			return v
+		}
+		return inst.T2.Impacts[j]
+	}
+	degL := make(map[int]int)
+	degR := make(map[int]int)
+	for _, ev := range e.Evidence {
+		if deletedL[ev.L] || deletedR[ev.R] {
+			return fmt.Errorf("core: evidence (%d→%d) touches a deleted tuple", ev.L, ev.R)
+		}
+		degL[ev.L]++
+		degR[ev.R]++
+	}
+	if inst.Card.LeftAtMostOne {
+		for i, d := range degL {
+			if d > 1 {
+				return fmt.Errorf("core: left tuple %d has degree %d under a left-restricted mapping", i, d)
+			}
+		}
+	}
+	if inst.Card.RightAtMostOne {
+		for j, d := range degR {
+			if d > 1 {
+				return fmt.Errorf("core: right tuple %d has degree %d under a right-restricted mapping", j, d)
+			}
+		}
+	}
+	for i := 0; i < inst.T1.Len(); i++ {
+		if !deletedL[i] && degL[i] == 0 {
+			return fmt.Errorf("core: kept left tuple %d is unmatched", i)
+		}
+	}
+	for j := 0; j < inst.T2.Len(); j++ {
+		if !deletedR[j] && degR[j] == 0 {
+			return fmt.Errorf("core: kept right tuple %d is unmatched", j)
+		}
+	}
+	// Impact equality per component of the evidence graph.
+	adjL := make(map[int][]int)
+	adjR := make(map[int][]int)
+	for _, ev := range e.Evidence {
+		adjL[ev.L] = append(adjL[ev.L], ev.R)
+		adjR[ev.R] = append(adjR[ev.R], ev.L)
+	}
+	seenL := make(map[int]bool)
+	seenR := make(map[int]bool)
+	for start := range adjL {
+		if seenL[start] {
+			continue
+		}
+		var ls, rs []int
+		stackL := []int{start}
+		seenL[start] = true
+		var stackR []int
+		for len(stackL) > 0 || len(stackR) > 0 {
+			if len(stackL) > 0 {
+				u := stackL[len(stackL)-1]
+				stackL = stackL[:len(stackL)-1]
+				ls = append(ls, u)
+				for _, v := range adjL[u] {
+					if !seenR[v] {
+						seenR[v] = true
+						stackR = append(stackR, v)
+					}
+				}
+				continue
+			}
+			v := stackR[len(stackR)-1]
+			stackR = stackR[:len(stackR)-1]
+			rs = append(rs, v)
+			for _, u := range adjR[v] {
+				if !seenL[u] {
+					seenL[u] = true
+					stackL = append(stackL, u)
+				}
+			}
+		}
+		sumL, sumR := 0.0, 0.0
+		for _, i := range ls {
+			sumL += impactL(i)
+		}
+		for _, j := range rs {
+			sumR += impactR(j)
+		}
+		if math.Abs(sumL-sumR) > 1e-4 {
+			return fmt.Errorf("core: component containing left %v right %v violates impact equality: %v vs %v", ls, rs, sumL, sumR)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"explain3d/internal/linkage"
+	"explain3d/internal/query"
+	"explain3d/internal/relation"
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+)
+
+// Input bundles everything explain3d needs: two databases, two
+// semantically similar queries, and the attribute matches between them.
+type Input struct {
+	DB1, DB2 *relation.Database
+	Q1, Q2   *sqlparse.Select
+	Mattr    schemamap.Matching
+	// Calibrator optionally converts similarities to probabilities
+	// (Section 5.1.2); nil treats similarity as probability.
+	Calibrator *linkage.Calibrator
+	// Mapping optionally supplies the initial tuple mapping directly,
+	// bypassing similarity generation. Indexes refer to canonical tuples.
+	Mapping []linkage.Match
+	// MinProb drops initial matches below this probability (default 0.02).
+	MinProb float64
+	// PairOpts overrides the candidate-generation options for stage 1
+	// (nil uses linkage.DefaultPairOptions).
+	PairOpts *linkage.PairOptions
+}
+
+// Result is the full framework output.
+type Result struct {
+	Prov1, Prov2 *query.Provenance
+	T1, T2       *Canonical
+	Instance     *Instance
+	Expl         *Explanations
+	Stats        Stats
+	// Stage1Time covers provenance, canonicalization, and mapping
+	// generation (the paper reports it dominates total runtime).
+	Stage1Time time.Duration
+}
+
+// Explain runs the 3-stage framework end to end (Stage 3 summarization is
+// exposed separately via the summarize package, as the paper delegates it
+// to existing tools).
+func Explain(in Input, p Params) (*Result, error) {
+	if !in.Mattr.Comparable() {
+		return nil, fmt.Errorf("core: queries are not comparable (no attribute matches)")
+	}
+	stage1 := time.Now()
+	inst, res, err := BuildInstance(in)
+	if err != nil {
+		return nil, err
+	}
+	res.Stage1Time = time.Since(stage1)
+	expl, stats, err := SolveInstance(inst, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Expl = expl
+	res.Stats = *stats
+	return res, nil
+}
+
+// BuildInstance runs Stage 1: extract provenance, canonicalize, and derive
+// the initial tuple mapping.
+func BuildInstance(in Input) (*Instance, *Result, error) {
+	p1, err := query.Extract(in.Q1, in.DB1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: provenance of Q1: %w", err)
+	}
+	p2, err := query.Extract(in.Q2, in.DB2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: provenance of Q2: %w", err)
+	}
+	t1, err := Canonicalize(p1, in.Mattr.LeftAttrs())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: canonicalizing Q1: %w", err)
+	}
+	t2, err := Canonicalize(p2, in.Mattr.RightAttrs())
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: canonicalizing Q2: %w", err)
+	}
+	matches := in.Mapping
+	if matches == nil {
+		popt := linkage.DefaultPairOptions()
+		if in.PairOpts != nil {
+			popt = *in.PairOpts
+		}
+		matches, err = InitialMappingWith(t1, t2, in.Mattr, in.Calibrator, popt)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	minP := in.MinProb
+	if minP == 0 {
+		minP = 0.02
+	}
+	matches = FilterMatches(matches, minP)
+	inst := &Instance{T1: t1, T2: t2, Matches: matches, Card: CardinalityOf(in.Mattr)}
+	res := &Result{Prov1: p1, Prov2: p2, T1: t1, T2: t2, Instance: inst}
+	return inst, res, nil
+}
+
+// InitialMapping scores candidate tuple matches between two canonical
+// relations using the matching attributes (one comparison column per
+// attribute match; multi-attribute sides are concatenated) and calibrates
+// similarities into probabilities.
+func InitialMapping(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Calibrator) ([]linkage.Match, error) {
+	return InitialMappingWith(t1, t2, mattr, cal, linkage.DefaultPairOptions())
+}
+
+// InitialMappingWith is InitialMapping with explicit candidate-generation
+// options.
+func InitialMappingWith(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Calibrator, popt linkage.PairOptions) ([]linkage.Match, error) {
+	v1, err := virtualColumns(t1, mattr, true)
+	if err != nil {
+		return nil, err
+	}
+	v2, err := virtualColumns(t2, mattr, false)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(mattr))
+	for i := range idx {
+		idx[i] = i
+	}
+	sims, err := linkage.Similarities(v1, v2, idx, idx, popt)
+	if err != nil {
+		return nil, err
+	}
+	if cal == nil {
+		cal = linkage.NewCalibrator(50) // unfitted: identity mapping
+	}
+	return linkage.Calibrate(sims, cal), nil
+}
+
+// VirtualColumns builds one comparison column per attribute match: the
+// side's attribute value (preserving numerics) or the concatenation when
+// the match covers several attributes. Exposed for baselines (R-Swoosh)
+// that score the same columns the initial mapping uses.
+func VirtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relation.Relation, error) {
+	return virtualColumns(c, mattr, left)
+}
+
+// virtualColumns is the implementation of VirtualColumns.
+func virtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relation.Relation, error) {
+	names := make([]string, len(mattr))
+	for i := range mattr {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+	out := relation.New("", names...)
+	colIdx := make([][]int, len(mattr))
+	for i, am := range mattr {
+		attrs := am.Right
+		if left {
+			attrs = am.Left
+		}
+		for _, a := range attrs {
+			j, err := c.Rel.Schema.Index(a)
+			if err != nil {
+				return nil, fmt.Errorf("core: attribute match references %q missing from canonical relation: %w", a, err)
+			}
+			colIdx[i] = append(colIdx[i], j)
+		}
+	}
+	for _, row := range c.Rel.Rows {
+		rec := make(relation.Tuple, len(mattr))
+		for i, cols := range colIdx {
+			if len(cols) == 1 {
+				rec[i] = row[cols[0]]
+				continue
+			}
+			parts := make([]string, 0, len(cols))
+			for _, j := range cols {
+				if !row[j].IsNull() {
+					parts = append(parts, row[j].String())
+				}
+			}
+			rec[i] = relation.String(strings.Join(parts, " "))
+		}
+		out.Rows = append(out.Rows, rec)
+	}
+	return out, nil
+}
+
+// Describe renders an explanation in terms of canonical tuple keys, for
+// CLI and example output.
+func (r *Result) Describe(e *Explanations) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Result of Q1: %v  |  Result of Q2: %v\n", r.Prov1.Result, r.Prov2.Result)
+	fmt.Fprintf(&b, "Provenance-based explanations (%d):\n", len(e.Prov))
+	for _, pe := range e.Prov {
+		key := r.T1.Keys
+		impacts := r.T1.Impacts
+		if pe.Side == Right {
+			key = r.T2.Keys
+			impacts = r.T2.Impacts
+		}
+		fmt.Fprintf(&b, "  [%s] %s (impact %v) has no counterpart\n", pe.Side, key[pe.Tuple], impacts[pe.Tuple])
+	}
+	fmt.Fprintf(&b, "Value-based explanations (%d):\n", len(e.Val))
+	for _, ve := range e.Val {
+		key := r.T1.Keys
+		impacts := r.T1.Impacts
+		if ve.Side == Right {
+			key = r.T2.Keys
+			impacts = r.T2.Impacts
+		}
+		fmt.Fprintf(&b, "  [%s] %s: impact %v ↦ %v\n", ve.Side, key[ve.Tuple], impacts[ve.Tuple], ve.NewImpact)
+	}
+	fmt.Fprintf(&b, "Evidence mapping (%d matches):\n", len(e.Evidence))
+	for _, ev := range e.Evidence {
+		fmt.Fprintf(&b, "  %s ↔ %s (p=%.2f)\n", r.T1.Keys[ev.L], r.T2.Keys[ev.R], ev.P)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"explain3d/internal/graph"
+	"explain3d/internal/linkage"
+	"explain3d/internal/milp"
+)
+
+// SolveInstance runs Stage 2 of explain3d on an instance: partition the
+// tuple-match graph (Section 4) when BatchSize > 0, encode each
+// sub-problem as a MILP (Algorithm 1), solve to optimality, and merge the
+// decoded explanations. With BatchSize = 0 the whole instance is one
+// optimization problem — the paper's NOOPT configuration.
+func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	stats := &Stats{}
+
+	subs, err := splitInstance(inst, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Partitions = len(subs)
+
+	var deadline time.Time
+	if p.SolverTimeLimit > 0 {
+		deadline = time.Now().Add(p.SolverTimeLimit)
+	}
+	result := &Explanations{}
+	for _, sub := range subs {
+		enc := encode(inst, sub, p)
+		stats.MILPVars += enc.model.NumVars()
+		stats.MILPRows += enc.model.NumRows()
+		opt := milp.Options{MaxNodes: p.SolverMaxNodes, WarmStart: warmStart(inst, enc)}
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				remain = time.Millisecond
+			}
+			opt.TimeLimit = remain
+		}
+		sol, err := milp.Solve(enc.model, opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: solving sub-problem: %w", err)
+		}
+		stats.Nodes += sol.Nodes
+		switch sol.Status {
+		case milp.StatusOptimal:
+		case milp.StatusLimit:
+			stats.TimedOut = true
+		case milp.StatusNoSolution:
+			// Budget expired before any feasible point: fall back to
+			// deleting everything in this sub-problem (always complete).
+			stats.TimedOut = true
+			for _, id := range sub.left {
+				result.Prov = append(result.Prov, ProvExpl{Side: Left, Tuple: id})
+			}
+			for _, id := range sub.right {
+				result.Prov = append(result.Prov, ProvExpl{Side: Right, Tuple: id})
+			}
+			continue
+		default:
+			// The encoding always admits the all-deleted solution, so an
+			// infeasible or unbounded status signals an encoding bug.
+			return nil, nil, fmt.Errorf("core: sub-problem unexpectedly %v (%s)", sol.Status, enc.model)
+		}
+		frag := decode(inst, enc, sol)
+		result.Prov = append(result.Prov, frag.Prov...)
+		result.Val = append(result.Val, frag.Val...)
+		result.Evidence = append(result.Evidence, frag.Evidence...)
+	}
+	sortExplanations(result)
+	stats.SolveTime = time.Since(start)
+	return result, stats, nil
+}
+
+// splitInstance prepares the optimization units. Matches whose probability
+// would contribute nothing are assumed pre-filtered. With partitioning
+// enabled, the smart partitioner bounds every unit to BatchSize tuples;
+// cut matches are dropped (they cannot enter the evidence), exactly as in
+// the paper.
+func splitInstance(inst *Instance, p Params) ([]*subProblem, error) {
+	if p.BatchSize <= 0 {
+		all := &subProblem{matches: inst.Matches}
+		for i := 0; i < inst.T1.Len(); i++ {
+			all.left = append(all.left, i)
+		}
+		for j := 0; j < inst.T2.Len(); j++ {
+			all.right = append(all.right, j)
+		}
+		return []*subProblem{all}, nil
+	}
+	bip := graph.NewBipartite(inst.T1.Len(), inst.T2.Len())
+	for _, m := range inst.Matches {
+		bip.AddMatch(m.L, m.R, m.P)
+	}
+	smart := p.Smart
+	smart.BatchSize = p.BatchSize
+	parts, err := graph.SmartPartition(bip, smart)
+	if err != nil {
+		return nil, err
+	}
+	partOf := make([]int, bip.Size())
+	for pi, part := range parts {
+		for _, node := range part {
+			partOf[node] = pi
+		}
+	}
+	subs := make([]*subProblem, len(parts))
+	for pi, part := range parts {
+		sub := &subProblem{}
+		for _, node := range part {
+			if node < inst.T1.Len() {
+				sub.left = append(sub.left, node)
+			} else {
+				sub.right = append(sub.right, node-inst.T1.Len())
+			}
+		}
+		subs[pi] = sub
+	}
+	for _, m := range inst.Matches {
+		pl := partOf[m.L]
+		pr := partOf[inst.T1.Len()+m.R]
+		if pl == pr {
+			subs[pl].matches = append(subs[pl].matches, m)
+		}
+	}
+	return subs, nil
+}
+
+// FilterMatches drops matches below a probability floor; stage 1 applies
+// it so near-zero candidates do not bloat the MILP.
+func FilterMatches(matches []linkage.Match, minP float64) []linkage.Match {
+	out := make([]linkage.Match, 0, len(matches))
+	for _, m := range matches {
+		if m.P >= minP {
+			out = append(out, m)
+		}
+	}
+	return out
+}

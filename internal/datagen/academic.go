@@ -1,0 +1,248 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+)
+
+// AcademicSpec shapes a university-catalog vs. statistics-agency pair in
+// the mold of the paper's UMass/OSU vs. NCES comparisons. The left dataset
+// lists one row per (major, degree); the right dataset aggregates bachelor
+// counts per program, wrapped in a School/Stats join. Disagreement
+// mechanisms mirror the paper's findings: majors double-counted across
+// degree types, associate-degree programs missing from the agency data,
+// renamed programs that defeat naive linkage, and corrupted counts.
+type AcademicSpec struct {
+	Name string
+	// Matching is the number of majors present on both sides.
+	Matching int
+	// MultiDegree majors carry a second degree row on the left (the first
+	// TripleDegree of them a third); MultiDegreeWrong of them report
+	// bach_degr = 1 on the right (gold value explanations).
+	MultiDegree, TripleDegree, MultiDegreeWrong int
+	// MissingAssoc majors exist only on the left with an associate degree;
+	// MissingOther only on the left for other reasons; AgencyOnly programs
+	// exist only on the right.
+	MissingAssoc, MissingOther, AgencyOnly int
+	// Renamed programs appear under a partially overlapping name on the
+	// right; HardRenamed under an unrelated name (linkage cannot see it).
+	Renamed, HardRenamed int
+	// CorruptCounts single-degree programs have a wrong bach_degr.
+	CorruptCounts int
+	Seed          int64
+}
+
+// UMassLike reproduces the Figure 4 statistics of the UMass-vs-NCES pair:
+// |P1| = 113, |T1| = 95, |P2| = 81, |M*| = 71, |E| = 64.
+func UMassLike() AcademicSpec {
+	return AcademicSpec{
+		Name:     "UMass-Amherst",
+		Matching: 71, MultiDegree: 18, MultiDegreeWrong: 14,
+		MissingAssoc: 12, MissingOther: 12, AgencyOnly: 10,
+		Renamed: 6, HardRenamed: 3, CorruptCounts: 16,
+		Seed: 7,
+	}
+}
+
+// OSULike reproduces the OSU-vs-NCES shape: |P1| = 282, |T1| = 206,
+// |P2| = 153, |M*| = 140, |E| = 127.
+func OSULike() AcademicSpec {
+	return AcademicSpec{
+		Name:     "OSU",
+		Matching: 140, MultiDegree: 60, TripleDegree: 16, MultiDegreeWrong: 36,
+		MissingAssoc: 34, MissingOther: 32, AgencyOnly: 13,
+		Renamed: 12, HardRenamed: 6, CorruptCounts: 12,
+		Seed: 11,
+	}
+}
+
+// Academic is the generated pair plus its generation trace.
+type Academic struct {
+	Spec     AcademicSpec
+	DB1, DB2 *relation.Database
+	Q1, Q2   *sqlparse.Select
+	Mattr    schemamap.Matching
+	// LeftOnly and RightOnly list program names without a counterpart;
+	// WrongCount lists programs whose right-side count disagrees.
+	LeftOnly, RightOnly, WrongCount []string
+}
+
+var academicFields = []string{
+	"Accounting", "Biology", "Chemistry", "Physics", "Mathematics", "History",
+	"Economics", "Psychology", "Sociology", "Anthropology", "Linguistics",
+	"Philosophy", "Astronomy", "Geology", "Microbiology", "Biochemistry",
+	"Nursing", "Finance", "Marketing", "Management", "Journalism",
+	"Architecture", "Dance", "Music", "Theater", "Art", "Design", "Education",
+	"Kinesiology", "Nutrition", "Computer Science", "Electrical Engineering",
+	"Mechanical Engineering", "Civil Engineering", "Chemical Engineering",
+	"Environmental Science", "Political Science", "Public Health",
+	"Animal Science", "Plant Science", "Food Science", "Urban Planning",
+	"Communication", "Statistics", "Classics", "Geography", "Forestry",
+	"Horticulture", "Astrophysics", "Neuroscience", "Italian Studies",
+	"German Studies", "Portuguese", "Japanese", "Chinese", "Arabic",
+	"Legal Studies", "Social Work", "Landscape Architecture", "Astrobiology",
+}
+
+var academicModifiers = []string{
+	"", "Applied ", "Comparative ", "Global ", "Molecular ", "Industrial ",
+	"Sustainable ", "Computational ", "Clinical ", "Quantitative ",
+	"Environmental ", "Digital ", "Regional ", "Experimental ",
+}
+
+// renameSynonyms substitute one token, leaving partial similarity.
+var renameSynonyms = map[string]string{
+	"Science": "Studies", "Management": "Administration",
+	"Engineering": "Systems", "Studies": "Sciences", "Art": "Arts",
+	"Communication": "Media", "Design": "Innovation",
+}
+
+// hardRenames leave no token overlap, like the paper's "Foodservice
+// Systems Administration" vs "Food Business Management" example.
+var hardRenames = []string{
+	"Interdisciplinary Program Track", "Professional Certificate Pathway",
+	"Integrated Honors Curriculum", "Individualized Concentration Option",
+	"Accelerated Dual Track", "University Without Walls", "Special Cohort Program",
+	"Extension Learning Option", "Residential Academic Pathway",
+}
+
+// GenerateAcademic builds one pair.
+func GenerateAcademic(spec AcademicSpec) *Academic {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	total := spec.Matching + spec.MissingAssoc + spec.MissingOther
+	names := majorNames(rng, total+spec.AgencyOnly)
+	out := &Academic{
+		Spec: spec,
+		Q1:   sqlparse.MustParse("SELECT COUNT(Major) FROM Major"),
+		Q2: sqlparse.MustParse(fmt.Sprintf(
+			"SELECT SUM(bach_degr) FROM School, Stats WHERE Univ_name = '%s' AND School.ID = Stats.ID", spec.Name)),
+		Mattr: schemamap.Matching{{
+			Left: []string{"Major.Major"}, Right: []string{"Stats.Program"}, Rel: schemamap.LessGeneral,
+		}},
+	}
+
+	majors := relation.New("Major", "Major", "Degree", "School", EIDColumn)
+	school := relation.New("School", "ID", "Univ_name", "City", "Url")
+	stats := relation.New("Stats", "ID", "Program", "bach_degr", EIDColumn)
+
+	// The agency lists many universities; ours is ID 1.
+	school.Append(int64(1), spec.Name, "Hometown", "https://example.edu")
+	for u := 2; u <= 40; u++ {
+		school.Append(int64(u), fmt.Sprintf("University %d", u), "Elsewhere", "https://u.example")
+		// Noise stats rows for other universities (filtered by the join).
+		for k := 0; k < 4; k++ {
+			stats.Append(int64(u), names[rng.Intn(len(names))], int64(1+rng.Intn(4)), int64(-1))
+		}
+	}
+
+	schools := []string{"Natural Sciences", "Humanities", "Engineering", "Management", "Public Health"}
+	degreePairs := [][2]string{{"B.S.", "B.A."}, {"B.S.", "B.F.A."}, {"B.A.", "B.Mus."}}
+	eid := int64(0)
+
+	// Matching majors.
+	idx := 0
+	for k := 0; k < spec.Matching; k++ {
+		name := names[idx]
+		idx++
+		eid++
+		sch := schools[rng.Intn(len(schools))]
+		degrees := 1
+		wrongCount := false
+		if k < spec.MultiDegree {
+			degrees = 2
+			if k < spec.TripleDegree {
+				degrees = 3
+			}
+			wrongCount = k < spec.MultiDegreeWrong
+		}
+		pair := degreePairs[rng.Intn(len(degreePairs))]
+		majors.Append(name, pair[0], sch, eid)
+		if degrees >= 2 {
+			majors.Append(name, pair[1], sch, eid)
+		}
+		if degrees >= 3 {
+			majors.Append(name, "Certificate", sch, eid)
+		}
+		// Right-side program name, possibly renamed.
+		prog := name
+		switch {
+		case k >= spec.Matching-spec.HardRenamed:
+			prog = hardRenames[(k-spec.Matching+spec.HardRenamed)%len(hardRenames)]
+		case k >= spec.Matching-spec.HardRenamed-spec.Renamed:
+			prog = softRename(name)
+		}
+		count := int64(degrees)
+		if wrongCount {
+			count = 1
+		}
+		corrupted := false
+		if degrees == 1 && spec.CorruptCounts > 0 && k%((spec.Matching/max(1, spec.CorruptCounts))+1) == 0 && len(out.WrongCount) < spec.CorruptCounts {
+			count += int64(1 + rng.Intn(3))
+			corrupted = true
+		}
+		stats.Append(int64(1), prog, count, eid)
+		if wrongCount || corrupted {
+			out.WrongCount = append(out.WrongCount, name)
+		}
+	}
+	// Left-only majors: associate-degree programs and others.
+	for k := 0; k < spec.MissingAssoc; k++ {
+		name := names[idx]
+		idx++
+		eid++
+		majors.Append(name, "Associate", "Stockbridge", eid)
+		out.LeftOnly = append(out.LeftOnly, name)
+	}
+	for k := 0; k < spec.MissingOther; k++ {
+		name := names[idx]
+		idx++
+		eid++
+		majors.Append(name, "B.S.", schools[rng.Intn(len(schools))], eid)
+		out.LeftOnly = append(out.LeftOnly, name)
+	}
+	// Right-only programs.
+	for k := 0; k < spec.AgencyOnly; k++ {
+		name := names[idx]
+		idx++
+		eid++
+		stats.Append(int64(1), name, int64(1+rng.Intn(2)), eid)
+		out.RightOnly = append(out.RightOnly, name)
+	}
+
+	out.DB1 = relation.NewDatabase("catalog").Add(majors)
+	out.DB2 = relation.NewDatabase("agency").Add(school).Add(stats)
+	return out
+}
+
+func majorNames(rng *rand.Rand, n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		name := academicModifiers[rng.Intn(len(academicModifiers))] + academicFields[rng.Intn(len(academicFields))]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func softRename(name string) string {
+	for tok, repl := range renameSynonyms {
+		if strings.Contains(name, tok) {
+			return strings.Replace(name, tok, repl, 1)
+		}
+	}
+	return name + " Program"
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

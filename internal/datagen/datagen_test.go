@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"testing"
+
+	"explain3d/internal/query"
+	"explain3d/internal/relation"
+)
+
+func TestInjectorTracksErrors(t *testing.T) {
+	r := relation.New("T", "name", "v")
+	for i := 0; i < 200; i++ {
+		r.Append("some name here", int64(10))
+	}
+	in := NewInjector(0.1, 3)
+	if err := in.Corrupt(r, "name", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Errors) == 0 {
+		t.Fatal("no errors injected at 10% over 400 cells")
+	}
+	for _, e := range in.Errors {
+		idx := r.Schema.MustIndex(e.Column)
+		if !r.Rows[e.Row][idx].Identical(e.New) {
+			t.Fatalf("tracked error does not match relation state: %+v", e)
+		}
+		if e.New.Identical(e.Old) {
+			t.Fatalf("non-change tracked: %+v", e)
+		}
+	}
+	// Roughly rate-proportional (loose bounds).
+	if len(in.Errors) < 10 || len(in.Errors) > 90 {
+		t.Fatalf("error count %d implausible for rate 0.1 over 400 cells", len(in.Errors))
+	}
+}
+
+func TestInjectorUnknownColumn(t *testing.T) {
+	r := relation.New("T", "a")
+	in := NewInjector(0.5, 1)
+	if err := in.Corrupt(r, "nope"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestSyntheticGenerator(t *testing.T) {
+	s := GenerateSynthetic(SyntheticSpec{N: 500, D: 0.2, V: 100, Seed: 5})
+	t1, _ := s.DB1.Relation("Table1")
+	t2, _ := s.DB2.Relation("Table2")
+	// Roughly d/2 dropped from each side.
+	if t1.Len() >= 500 || t1.Len() < 400 {
+		t.Fatalf("|T1| = %d", t1.Len())
+	}
+	if t2.Len() >= 500 || t2.Len() < 400 {
+		t.Fatalf("|T2| = %d", t2.Len())
+	}
+	// Dispositions are consistent with the relations.
+	drops, corrupts := 0, 0
+	for i, f := range s.Fate {
+		switch f {
+		case DroppedLeft, DroppedRight:
+			drops++
+		case CorruptLeft:
+			corrupts++
+			if s.Val1[i] == s.Val2[i] {
+				t.Fatalf("tuple %d marked corrupt-left but values equal", i)
+			}
+		case CorruptRight:
+			corrupts++
+			if s.Val1[i] == s.Val2[i] {
+				t.Fatalf("tuple %d marked corrupt-right but values equal", i)
+			}
+		}
+	}
+	if drops < 50 || drops > 150 {
+		t.Fatalf("drops = %d, want ≈100", drops)
+	}
+	if corrupts < 30 || corrupts > 140 {
+		t.Fatalf("corrupts = %d, want ≈80", corrupts)
+	}
+	// Phrases are unique (canonicalization must not merge base tuples).
+	seen := map[string]bool{}
+	for _, p := range s.Phrases {
+		if seen[p] {
+			t.Fatalf("duplicate phrase %q", p)
+		}
+		seen[p] = true
+	}
+	// Queries disagree by construction.
+	v1, err := query.RunScalar(s.Q1, s.DB1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := query.RunScalar(s.Q2, s.DB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Equal(v2) {
+		t.Fatalf("queries agree (%v) — generator produced no disagreement", v1)
+	}
+}
+
+func TestAcademicGeneratorShape(t *testing.T) {
+	a := GenerateAcademic(UMassLike())
+	majors, _ := a.DB1.Relation("Major")
+	// |P1| = matching + multi-degree extras + missing = 71+18+24 = 113.
+	if majors.Len() != 113 {
+		t.Fatalf("|P1| = %d, want 113", majors.Len())
+	}
+	p1, err := query.Extract(a.Q1, a.DB1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Rel.Len() != 113 {
+		t.Fatalf("provenance 1 = %d, want 113", p1.Rel.Len())
+	}
+	p2, err := query.Extract(a.Q2, a.DB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |P2| = matching + agency-only = 81.
+	if p2.Rel.Len() != 81 {
+		t.Fatalf("provenance 2 = %d, want 81", p2.Rel.Len())
+	}
+	// Q1 result exceeds Q2's (the Example 1 shape: 113 vs ~90).
+	if p1.Result.IntVal() <= p2.Result.IntVal() {
+		t.Fatalf("Q1 = %v should exceed Q2 = %v", p1.Result, p2.Result)
+	}
+	if len(a.LeftOnly) != 24 || len(a.RightOnly) != 10 {
+		t.Fatalf("gold sizes: leftOnly=%d rightOnly=%d", len(a.LeftOnly), len(a.RightOnly))
+	}
+}
+
+func TestAcademicOSUShape(t *testing.T) {
+	a := GenerateAcademic(OSULike())
+	p1, err := query.Extract(a.Q1, a.DB1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Rel.Len() != 282 {
+		t.Fatalf("|P1| = %d, want 282", p1.Rel.Len())
+	}
+	p2, err := query.Extract(a.Q2, a.DB2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Rel.Len() != 153 {
+		t.Fatalf("|P2| = %d, want 153", p2.Rel.Len())
+	}
+}
+
+func TestIMDbGeneratorAndTemplates(t *testing.T) {
+	im, err := GenerateIMDb(IMDbSpec{Movies: 300, Persons: 450, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Errors1) == 0 || len(im.Errors2) == 0 {
+		t.Fatal("error injection produced nothing")
+	}
+	// View 2 must have more genre coverage than view 1 (the data loss).
+	info, _ := im.DB2.Relation("MovieInfo")
+	genreRows := 0
+	typeIdx := info.Schema.MustIndex("info_type")
+	for _, row := range info.Rows {
+		if row[typeIdx].Str() == "genre" {
+			genreRows++
+		}
+	}
+	if genreRows <= 300 {
+		t.Fatalf("genre rows = %d, want > movie count (multi-genre)", genreRows)
+	}
+	// Every template parses and runs against the views.
+	for _, tpl := range Templates() {
+		param := "1999"
+		if tpl.Param == "genre" {
+			param = "Comedy"
+		}
+		q1, q2, mattr, err := tpl.Instantiate(param)
+		if err != nil {
+			t.Fatalf("template %d: %v", tpl.ID, err)
+		}
+		if !mattr.Comparable() {
+			t.Fatalf("template %d: no attribute matches", tpl.ID)
+		}
+		if _, err := query.Extract(q1, im.DB1); err != nil {
+			t.Fatalf("template %d view 1: %v", tpl.ID, err)
+		}
+		if _, err := query.Extract(q2, im.DB2); err != nil {
+			t.Fatalf("template %d view 2: %v", tpl.ID, err)
+		}
+	}
+}
+
+func TestIMDbDeterministic(t *testing.T) {
+	a, err := GenerateIMDb(IMDbSpec{Movies: 100, Persons: 150, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateIMDb(IMDbSpec{Movies: 100, Persons: 150, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := a.DB1.Relation("Movie")
+	rb, _ := b.DB1.Relation("Movie")
+	if ra.Len() != rb.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range ra.Rows {
+		for j := range ra.Rows[i] {
+			if !ra.Rows[i][j].Identical(rb.Rows[i][j]) {
+				t.Fatalf("same seed, different cell (%d,%d)", i, j)
+			}
+		}
+	}
+}

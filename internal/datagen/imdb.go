@@ -1,0 +1,460 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+)
+
+// IMDbSpec sizes the IMDb-like workload of Section 5.1.1: a base movie
+// dataset exposed through two views with different schemas. View 1 loses
+// data by design (a movie keeps only its primary genre and country);
+// view 2 stores attributes as entity–attribute–value rows. BART-style
+// errors are injected into both views at ErrorRate.
+type IMDbSpec struct {
+	Movies    int
+	Persons   int
+	StartYear int
+	EndYear   int
+	ErrorRate float64
+	Seed      int64
+}
+
+func (s IMDbSpec) withDefaults() IMDbSpec {
+	if s.Movies == 0 {
+		s.Movies = 3000
+	}
+	if s.Persons == 0 {
+		s.Persons = s.Movies * 3 / 2
+	}
+	if s.StartYear == 0 {
+		s.StartYear = 1970
+	}
+	if s.EndYear == 0 {
+		s.EndYear = 2003
+	}
+	if s.ErrorRate == 0 {
+		s.ErrorRate = 0.05
+	}
+	return s
+}
+
+// Genres and Countries are the categorical domains.
+var (
+	Genres    = []string{"Comedy", "Drama", "Action", "Thriller", "Romance", "Horror", "SciFi", "Documentary", "Animation", "Crime"}
+	Countries = []string{"USA", "UK", "France", "Germany", "Canada", "Japan", "India", "Italy", "Spain", "Mexico"}
+)
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+	"David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph",
+	"Jessica", "Thomas", "Sarah", "Charles", "Karen", "Nancy", "Daniel", "Lisa",
+	"Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald",
+	"Ashley", "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua",
+	"Michelle", "Kenneth",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams",
+	"Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
+	"Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+	"Cruz", "Edwards", "Collins", "Reyes",
+}
+
+var titleAdjectives = []string{
+	"Lost", "Silent", "Crimson", "Golden", "Broken", "Hidden", "Eternal",
+	"Midnight", "Savage", "Gentle", "Burning", "Frozen", "Distant", "Final",
+	"Secret", "Wild", "Quiet", "Shattered", "Rising", "Falling", "Iron",
+	"Velvet", "Hollow", "Radiant", "Forgotten",
+}
+
+var titleNouns = []string{
+	"River", "Empire", "Garden", "Horizon", "Symphony", "Shadow", "Voyage",
+	"Kingdom", "Promise", "Storm", "Mirror", "Harvest", "Station", "Lantern",
+	"Canyon", "Island", "Letter", "Crossing", "Orchard", "Summit", "Harbor",
+	"Carnival", "Fortress", "Meadow", "Cathedral",
+}
+
+// IMDb is the generated base data plus both views.
+type IMDb struct {
+	Spec     IMDbSpec
+	DB1, DB2 *relation.Database
+	// Errors tracks the injected corruptions per view.
+	Errors1, Errors2 []CellError
+	rng              *rand.Rand
+}
+
+// GenerateIMDb builds the base data, both views, and injects errors.
+func GenerateIMDb(spec IMDbSpec) (*IMDb, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	out := &IMDb{Spec: spec, rng: rng}
+
+	years := spec.EndYear - spec.StartYear + 1
+
+	// Base persons: 70% actors, 25% directors, 5% both.
+	type person struct {
+		id          int
+		first, last string
+		gender      string
+		dob         int
+		acts        bool
+		directs     bool
+	}
+	persons := make([]person, spec.Persons)
+	for i := range persons {
+		p := person{
+			id:     i,
+			first:  firstNames[rng.Intn(len(firstNames))],
+			last:   lastNames[rng.Intn(len(lastNames))],
+			gender: []string{"F", "M"}[rng.Intn(2)],
+			dob:    1920 + rng.Intn(66),
+		}
+		switch r := rng.Float64(); {
+		case r < 0.70:
+			p.acts = true
+		case r < 0.95:
+			p.directs = true
+		default:
+			p.acts, p.directs = true, true
+		}
+		persons[i] = p
+	}
+	var actorIDs, directorIDs []int
+	for _, p := range persons {
+		if p.acts {
+			actorIDs = append(actorIDs, p.id)
+		}
+		if p.directs {
+			directorIDs = append(directorIDs, p.id)
+		}
+	}
+
+	// Base movies.
+	type movie struct {
+		id        int
+		title     string
+		year      int
+		genres    []string
+		countries []string
+		runtime   int64
+		gross     int64
+		budget    int64
+		actors    []int
+		directors []int
+	}
+	movies := make([]movie, spec.Movies)
+	usedTitle := map[string]bool{}
+	for i := range movies {
+		m := movie{id: i, year: spec.StartYear + rng.Intn(years)}
+		for {
+			t := fmt.Sprintf("The %s %s", titleAdjectives[rng.Intn(len(titleAdjectives))], titleNouns[rng.Intn(len(titleNouns))])
+			if rng.Float64() < 0.5 {
+				t = fmt.Sprintf("%s %s %d", titleAdjectives[rng.Intn(len(titleAdjectives))], titleNouns[rng.Intn(len(titleNouns))], 1+rng.Intn(900))
+			}
+			key := fmt.Sprintf("%s|%d", t, m.year)
+			if !usedTitle[key] {
+				usedTitle[key] = true
+				m.title = t
+				break
+			}
+		}
+		ng := 1 + rng.Intn(3)
+		m.genres = pickDistinct(rng, Genres, ng)
+		m.countries = pickDistinct(rng, Countries, 1+rng.Intn(2))
+		m.runtime = int64(45 + rng.Intn(136))
+		if rng.Float64() < 0.12 {
+			m.runtime = int64(20 + rng.Intn(40)) // shorts
+		}
+		m.gross = int64(1 + rng.Intn(300))
+		m.budget = int64(1 + rng.Intn(150))
+		na := 2 + rng.Intn(4)
+		for k := 0; k < na; k++ {
+			m.actors = append(m.actors, actorIDs[rng.Intn(len(actorIDs))])
+		}
+		nd := 1 + rng.Intn(2)
+		for k := 0; k < nd; k++ {
+			m.directors = append(m.directors, directorIDs[rng.Intn(len(directorIDs))])
+		}
+		movies[i] = m
+	}
+
+	// View 1: flattened schema, primary genre/country only (data loss).
+	v1Movie := relation.New("Movie", "movie_id", "title", "release_year", "genre", "country", "runtimes", "gross", "budget", EIDColumn)
+	v1Actor := relation.New("Actor", "actor_id", "firstname", "lastname", "gender", "dob", EIDColumn)
+	v1Director := relation.New("Director", "director_id", "firstname", "lastname", "gender", "dob", EIDColumn)
+	v1MA := relation.New("MovieActor", "movie_id", "actor_id")
+	v1MD := relation.New("MovieDirector", "movie_id", "director_id")
+	for _, m := range movies {
+		v1Movie.Append(int64(m.id), m.title, int64(m.year), m.genres[0], m.countries[0], m.runtime, m.gross, m.budget, int64(m.id))
+		for _, a := range dedupInts(m.actors) {
+			v1MA.Append(int64(m.id), int64(a))
+		}
+		for _, d := range dedupInts(m.directors) {
+			v1MD.Append(int64(m.id), int64(d))
+		}
+	}
+	for _, p := range persons {
+		if p.acts {
+			v1Actor.Append(int64(p.id), p.first, p.last, p.gender, int64(p.dob), int64(p.id))
+		}
+		if p.directs {
+			v1Director.Append(int64(p.id), p.first, p.last, p.gender, int64(p.dob), int64(p.id))
+		}
+	}
+
+	// View 2: EAV schema, complete attribute coverage.
+	v2Movie := relation.New("Movie", "m_id", "title", "release_year", EIDColumn)
+	v2Info := relation.New("MovieInfo", "m_id", "info_type", "info")
+	v2Person := relation.New("Person", "p_id", "name", "gender", "dob", EIDColumn)
+	v2MP := relation.New("MoviePerson", "m_id", "p_id", "role")
+	for _, m := range movies {
+		v2Movie.Append(int64(m.id), m.title, int64(m.year), int64(m.id))
+		for _, g := range m.genres {
+			v2Info.Append(int64(m.id), "genre", g)
+		}
+		for _, c := range m.countries {
+			v2Info.Append(int64(m.id), "country", c)
+		}
+		v2Info.Append(int64(m.id), "runtimes", m.runtime)
+		v2Info.Append(int64(m.id), "gross", m.gross)
+		v2Info.Append(int64(m.id), "budget", m.budget)
+		for _, a := range dedupInts(m.actors) {
+			v2MP.Append(int64(m.id), int64(a), "actor")
+		}
+		for _, d := range dedupInts(m.directors) {
+			v2MP.Append(int64(m.id), int64(d), "director")
+		}
+	}
+	for _, p := range persons {
+		v2Person.Append(int64(p.id), p.first+" "+p.last, p.gender, int64(p.dob), int64(p.id))
+	}
+
+	// BART-style error injection (tracked).
+	inj1 := NewInjector(spec.ErrorRate, spec.Seed+101)
+	if err := inj1.Corrupt(v1Movie, "title", "runtimes", "gross"); err != nil {
+		return nil, err
+	}
+	if err := inj1.Corrupt(v1Actor, "dob"); err != nil {
+		return nil, err
+	}
+	out.Errors1 = inj1.Errors
+	inj2 := NewInjector(spec.ErrorRate, spec.Seed+202)
+	if err := inj2.Corrupt(v2Movie, "title"); err != nil {
+		return nil, err
+	}
+	if err := inj2.Corrupt(v2Info, "info"); err != nil {
+		return nil, err
+	}
+	if err := inj2.Corrupt(v2Person, "dob"); err != nil {
+		return nil, err
+	}
+	out.Errors2 = inj2.Errors
+
+	out.DB1 = relation.NewDatabase("imdb1").Add(v1Movie).Add(v1Actor).Add(v1Director).Add(v1MA).Add(v1MD)
+	out.DB2 = relation.NewDatabase("imdb2").Add(v2Movie).Add(v2Info).Add(v2Person).Add(v2MP)
+	return out, nil
+}
+
+func pickDistinct(rng *rand.Rand, pool []string, n int) []string {
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Template is one of the paper's ten query templates, instantiated with a
+// year (or genre for Q10).
+type Template struct {
+	ID    int
+	Name  string
+	Param string // "year" or "genre"
+	// sql1/sql2 format the view-specific SQL for a parameter.
+	sql1, sql2 func(param string) string
+	// MattrText parses to the attribute matches of Figure 5.
+	MattrText string
+	// EID1 and EID2 name the hidden entity-id attribute in each side's
+	// provenance, for gold-standard construction.
+	EID1, EID2 string
+}
+
+// Instantiate renders the two queries and attribute matches for a
+// parameter value (a year like "1999", or a genre for Q10).
+func (t Template) Instantiate(param string) (*sqlparse.Select, *sqlparse.Select, schemamap.Matching, error) {
+	q1, err := sqlparse.Parse(t.sql1(param))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("datagen: template %d view 1: %w", t.ID, err)
+	}
+	q2, err := sqlparse.Parse(t.sql2(param))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("datagen: template %d view 2: %w", t.ID, err)
+	}
+	mattr, err := schemamap.ParseAll(t.MattrText)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("datagen: template %d matches: %w", t.ID, err)
+	}
+	return q1, q2, mattr, nil
+}
+
+// RandomParam draws a parameter for the template.
+func (t Template) RandomParam(rng *rand.Rand, spec IMDbSpec) string {
+	spec = spec.withDefaults()
+	if t.Param == "genre" {
+		return Genres[rng.Intn(len(Genres))]
+	}
+	return fmt.Sprint(spec.StartYear + rng.Intn(spec.EndYear-spec.StartYear+1))
+}
+
+const (
+	personMattr = "a.firstname,a.lastname == p.name\na.gender == p.gender\na.dob == p.dob"
+	movieMattr  = "m.title == m.title\nm.release_year == m.release_year"
+)
+
+// Templates returns the paper's Q1–Q10.
+func Templates() []Template {
+	return []Template{
+		{
+			ID: 1, Name: "actors-in-short-movies", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT a.firstname, a.lastname FROM Actor a, MovieActor ma, Movie m
+				        WHERE a.actor_id = ma.actor_id AND ma.movie_id = m.movie_id
+				          AND m.runtimes < 60 AND m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT p.name FROM Person p, MoviePerson mp, Movie m, MovieInfo i
+				        WHERE p.p_id = mp.p_id AND mp.m_id = m.m_id AND mp.role = 'actor'
+				          AND m.m_id = i.m_id AND i.info_type = 'runtimes' AND i.info < 60
+				          AND m.release_year = ` + y
+			},
+			MattrText: personMattr, EID1: "a._eid", EID2: "p._eid",
+		},
+		{
+			ID: 2, Name: "movies-by-director-born", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT m.title, m.release_year FROM Movie m, MovieDirector md, Director d
+				        WHERE m.movie_id = md.movie_id AND md.director_id = d.director_id AND d.dob = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT m.title, m.release_year FROM Movie m, MoviePerson mp, Person p
+				        WHERE m.m_id = mp.m_id AND mp.p_id = p.p_id AND mp.role = 'director' AND p.dob = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 3, Name: "count-comedies", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT COUNT(m.title) FROM Movie m WHERE m.genre = 'Comedy' AND m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT COUNT(m.title) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'genre' AND i.info = 'Comedy' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 4, Name: "count-us-movies", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT COUNT(m.title) FROM Movie m WHERE m.country = 'USA' AND m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT COUNT(m.title) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'country' AND i.info = 'USA' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 5, Name: "total-gross", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT SUM(m.gross) FROM Movie m WHERE m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT SUM(i.info) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'gross' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 6, Name: "max-gross", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT MAX(m.gross) FROM Movie m WHERE m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT MAX(i.info) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'gross' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 7, Name: "longest-movie", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT MAX(m.runtimes) FROM Movie m WHERE m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT MAX(i.info) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'runtimes' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 8, Name: "avg-gross", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT AVG(m.gross) FROM Movie m WHERE m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT AVG(i.info) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'gross' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 9, Name: "avg-runtime", Param: "year",
+			sql1: func(y string) string {
+				return `SELECT AVG(m.runtimes) FROM Movie m WHERE m.release_year = ` + y
+			},
+			sql2: func(y string) string {
+				return `SELECT AVG(i.info) FROM Movie m, MovieInfo i
+				        WHERE m.m_id = i.m_id AND i.info_type = 'runtimes' AND m.release_year = ` + y
+			},
+			MattrText: movieMattr, EID1: "m._eid", EID2: "m._eid",
+		},
+		{
+			ID: 10, Name: "actresses-not-in-genre", Param: "genre",
+			sql1: func(g string) string {
+				return `SELECT a.firstname, a.lastname FROM Actor a
+				        WHERE a.gender = 'F' AND a.actor_id NOT IN
+				          (SELECT ma.actor_id FROM MovieActor ma, Movie m
+				           WHERE ma.movie_id = m.movie_id AND m.genre = '` + g + `')`
+			},
+			sql2: func(g string) string {
+				return `SELECT p.name FROM Person p
+				        WHERE p.gender = 'F' AND p.p_id NOT IN
+				          (SELECT mp.p_id FROM MoviePerson mp, Movie m, MovieInfo i
+				           WHERE mp.m_id = m.m_id AND mp.role = 'actor'
+				             AND m.m_id = i.m_id AND i.info_type = 'genre' AND i.info = '` + g + `')`
+			},
+			MattrText: personMattr, EID1: "a._eid", EID2: "p._eid",
+		},
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"explain3d/internal/core"
+	"explain3d/internal/datagen"
+)
+
+func TestAcademicUMassShape(t *testing.T) {
+	report, err := RunAcademic(datagen.UMassLike(), core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := report.Stats
+	if st.P1 != 113 || st.P2 != 81 || st.T1 != 95 {
+		t.Fatalf("stats = %+v, want |P1|=113 |P2|=81 |T1|=95", st)
+	}
+	if st.MStar != 71 {
+		t.Fatalf("|M*| = %d, want 71", st.MStar)
+	}
+	if st.E == 0 || st.ES == 0 || st.ES >= st.E {
+		t.Fatalf("summarization must compress: |E|=%d → |Es|=%d", st.E, st.ES)
+	}
+	byMethod := map[string]MethodResult{}
+	for _, r := range report.Results {
+		byMethod[r.Method] = r
+	}
+	exp3d := byMethod[MethodExplain3D]
+	// Explain3D must dominate the threshold/linkage/cover/single-dataset
+	// baselines on explanation F-measure. Greedy optimizes the same
+	// objective (Section 5.1.3), so on easy pairs it lands within noise of
+	// the optimum; allow a small margin for it, as gold-F1 ties between
+	// equal-objective solutions break arbitrarily.
+	for _, m := range []string{MethodThreshold, MethodRSwoosh, MethodExact, MethodFormal} {
+		if byMethod[m].Expl.F1 > exp3d.Expl.F1+1e-9 {
+			t.Errorf("%s expl F1 %.3f exceeds Explain3D %.3f", m, byMethod[m].Expl.F1, exp3d.Expl.F1)
+		}
+	}
+	if byMethod[MethodGreedy].Expl.F1 > exp3d.Expl.F1+0.03 {
+		t.Errorf("Greedy expl F1 %.3f exceeds Explain3D %.3f beyond tie noise", byMethod[MethodGreedy].Expl.F1, exp3d.Expl.F1)
+	}
+	if exp3d.Expl.F1 < 0.8 {
+		t.Errorf("Explain3D expl F1 = %.3f, want ≥ 0.8", exp3d.Expl.F1)
+	}
+	if exp3d.Evidence.F1 < 0.85 {
+		t.Errorf("Explain3D evidence F1 = %.3f, want ≥ 0.85", exp3d.Evidence.F1)
+	}
+	// Threshold keeps only high-probability matches: high evidence
+	// precision, lower recall.
+	th := byMethod[MethodThreshold]
+	if th.Evidence.Precision < 0.9 {
+		t.Errorf("Threshold evidence precision = %.3f, want high", th.Evidence.Precision)
+	}
+	if th.Evidence.Recall >= exp3d.Evidence.Recall {
+		t.Errorf("Threshold recall %.3f should trail Explain3D %.3f", th.Evidence.Recall, exp3d.Evidence.Recall)
+	}
+	// FormalExp produces no evidence and poor explanation accuracy.
+	fe := byMethod[MethodFormal]
+	if fe.Expl.F1 >= exp3d.Expl.F1 {
+		t.Errorf("FormalExp F1 %.3f should trail Explain3D %.3f", fe.Expl.F1, exp3d.Expl.F1)
+	}
+}
+
+func TestAcademicOSURuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	report, err := RunAcademic(datagen.OSULike(), core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stats.P1 != 282 || report.Stats.P2 != 153 {
+		t.Fatalf("stats = %+v", report.Stats)
+	}
+	for _, r := range report.Results {
+		if r.Method == MethodExplain3D && r.Expl.F1 < 0.75 {
+			t.Errorf("Explain3D OSU F1 = %.3f", r.Expl.F1)
+		}
+	}
+}
+
+func TestSyntheticPointAccuracyAndCompleteness(t *testing.T) {
+	cfg := SyntheticConfig{
+		Spec:       datagen.SyntheticSpec{N: 300, D: 0.2, V: 200, Seed: 3},
+		BatchSizes: []int{0, 100},
+		Budget:     time.Minute,
+	}
+	pts, err := RunSyntheticPoint(cfg, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.DNF {
+			t.Fatalf("%s DNF on a 300-tuple instance", p.Method)
+		}
+		if p.ExplF1 < 0.9 || p.EvidF1 < 0.9 {
+			t.Errorf("%s: F1 expl=%.3f evid=%.3f, want near-perfect", p.Method, p.ExplF1, p.EvidF1)
+		}
+	}
+}
+
+func TestSyntheticSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sw := SyntheticSweep{
+		Base:       datagen.SyntheticSpec{N: 0, D: 0.2, V: 300, Seed: 5},
+		Ns:         []int{200, 800},
+		BatchSizes: []int{0, 100},
+		Budget:     2 * time.Minute,
+	}
+	pts, err := sw.Run(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]map[int]time.Duration{}
+	for _, p := range pts {
+		if times[p.Method] == nil {
+			times[p.Method] = map[int]time.Duration{}
+		}
+		times[p.Method][p.N] = p.SolveTime
+	}
+	// Both methods take longer on the bigger instance.
+	for m, byN := range times {
+		if byN[800] < byN[200] {
+			t.Errorf("%s: time decreased with n: %v vs %v", m, byN[200], byN[800])
+		}
+	}
+}
+
+func TestIMDbSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := IMDbOptions{
+		Spec:           datagen.IMDbSpec{Movies: 400, Persons: 600, Seed: 17},
+		Instantiations: 1,
+		BatchSize:      1000,
+		Seed:           1,
+	}
+	report, err := RunIMDb(opt, core.DefaultParams(), []string{MethodExplain3D, MethodThreshold, MethodFormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Stats) != 10 {
+		t.Fatalf("templates = %d", len(report.Stats))
+	}
+	byMethod := map[string]MethodResult{}
+	for _, r := range report.Averages {
+		byMethod[r.Method] = r
+	}
+	exp3d := byMethod[MethodExplain3D]
+	if exp3d.Expl.F1 < 0.8 {
+		t.Errorf("Explain3D IMDb avg expl F1 = %.3f, want ≥ 0.8", exp3d.Expl.F1)
+	}
+	if byMethod[MethodFormal].Expl.F1 >= exp3d.Expl.F1 {
+		t.Errorf("FormalExp %.3f should trail Explain3D %.3f", byMethod[MethodFormal].Expl.F1, exp3d.Expl.F1)
+	}
+}
+
+func TestNormalizeExplKeys(t *testing.T) {
+	gold := []core.Evidence{{L: 3, R: 7}}
+	e := &core.Explanations{
+		Prov: []core.ProvExpl{{Side: core.Left, Tuple: 1}},
+		Val:  []core.ValExpl{{Side: core.Left, Tuple: 3}},
+	}
+	keys := NormalizeExplKeys(e, gold)
+	joined := strings.Join(keys, ",")
+	if !strings.Contains(joined, "δc|R|7") {
+		t.Fatalf("left δ on matched tuple should normalize to the component: %v", keys)
+	}
+	eRight := &core.Explanations{Val: []core.ValExpl{{Side: core.Right, Tuple: 7}}}
+	keysR := NormalizeExplKeys(eRight, gold)
+	if keysR[0] != "δc|R|7" {
+		t.Fatalf("right δ should normalize identically: %v", keysR)
+	}
+	// Unmatched left δ keeps its own key.
+	eLoose := &core.Explanations{Val: []core.ValExpl{{Side: core.Left, Tuple: 9}}}
+	if got := NormalizeExplKeys(eLoose, gold)[0]; got != "δ|L|9" {
+		t.Fatalf("unmatched δ = %q", got)
+	}
+}
+
+func TestWriteHelpersRender(t *testing.T) {
+	var sb strings.Builder
+	WriteMethodTable(&sb, "test", []MethodResult{{Method: "X"}})
+	WriteStats(&sb, DatasetStats{Name: "pair"})
+	WriteTimePoints(&sb, "times", []TimePoint{{X: 10, Method: "A", Time: time.Second}, {X: 10, Method: "B", DNF: true}})
+	out := sb.String()
+	for _, want := range []string{"test", "pair", "times", "DNF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package graph provides the graph machinery behind explain3d's
+// smart-partitioning optimizer (Section 4 of the paper): weighted
+// undirected graphs, connected components, a multilevel partitioner in the
+// style of METIS (heavy-edge-matching coarsening, greedy initial
+// partitioning, FM boundary refinement), the paper's pre-partitioning
+// (Algorithm 2), and the smart-partitioning driver (Algorithm 3).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one endpoint of an undirected weighted edge.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is an undirected graph with node and edge weights. Parallel edges
+// are merged on AddEdge.
+type Graph struct {
+	NodeWeight []int
+	adj        []map[int]float64
+}
+
+// New creates a graph with n nodes of weight 1.
+func New(n int) *Graph {
+	g := &Graph{
+		NodeWeight: make([]int, n),
+		adj:        make([]map[int]float64, n),
+	}
+	for i := range g.NodeWeight {
+		g.NodeWeight[i] = 1
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.NodeWeight) }
+
+// AddEdge adds weight w to the undirected edge (u, v). Self-loops are
+// ignored.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		return
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]float64)
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]float64)
+	}
+	g.adj[u][v] += w
+	g.adj[v][u] += w
+}
+
+// EdgeWeight returns the weight of edge (u, v), 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	if g.adj[u] == nil {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// Neighbors returns the sorted adjacency of u.
+func (g *Graph) Neighbors(u int) []Edge {
+	out := make([]Edge, 0, len(g.adj[u]))
+	for v, w := range g.adj[u] {
+		out = append(out, Edge{To: v, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
+// Degree returns the number of distinct neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// TotalNodeWeight sums all node weights.
+func (g *Graph) TotalNodeWeight() int {
+	t := 0
+	for _, w := range g.NodeWeight {
+		t += w
+	}
+	return t
+}
+
+// TotalEdgeWeight sums all edge weights (each undirected edge once).
+func (g *Graph) TotalEdgeWeight() float64 {
+	t := 0.0
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v {
+				t += w
+			}
+		}
+	}
+	return t
+}
+
+// ConnectedComponents returns the node sets of the maximal connected
+// components, each sorted, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.Len()
+	seen := make([]bool, n)
+	var comps [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack = append(stack[:0], s)
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// CutWeight computes the total weight of edges crossing between different
+// parts under the given assignment.
+func (g *Graph) CutWeight(part []int) float64 {
+	cut := 0.0
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v && part[u] != part[v] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	edges := 0
+	for u := range g.adj {
+		edges += len(g.adj[u])
+	}
+	return fmt.Sprintf("graph(%d nodes, %d edges, node weight %d)", g.Len(), edges/2, g.TotalNodeWeight())
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartite is the tuple-match graph G = (T1, T2, Mtuple): left nodes are
+// canonical tuples of the first query, right nodes of the second, and each
+// edge is an initial tuple match with probability P.
+type Bipartite struct {
+	NLeft  int
+	NRight int
+	Edges  []BEdge
+}
+
+// BEdge is one tuple match. L indexes the left side [0, NLeft); R the right
+// side [0, NRight).
+type BEdge struct {
+	L, R int
+	P    float64
+}
+
+// NewBipartite creates an empty match graph.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{NLeft: nLeft, NRight: nRight}
+}
+
+// AddMatch appends a tuple match.
+func (b *Bipartite) AddMatch(l, r int, p float64) {
+	b.Edges = append(b.Edges, BEdge{L: l, R: r, P: p})
+}
+
+// Size returns the total node count; node ids are left nodes followed by
+// right nodes (right node r has id NLeft + r).
+func (b *Bipartite) Size() int { return b.NLeft + b.NRight }
+
+// RightID converts a right index to a global node id.
+func (b *Bipartite) RightID(r int) int { return b.NLeft + r }
+
+// ToGraph materializes the match graph with unit node weights and edge
+// weights transformed by the given function (identity when nil).
+func (b *Bipartite) ToGraph(weight func(p float64) float64) *Graph {
+	g := New(b.Size())
+	for _, e := range b.Edges {
+		w := e.P
+		if weight != nil {
+			w = weight(e.P)
+		}
+		g.AddEdge(e.L, b.RightID(e.R), w)
+	}
+	return g
+}
+
+// ConnectedComponents returns components as global node id sets.
+func (b *Bipartite) ConnectedComponents() [][]int {
+	return b.ToGraph(nil).ConnectedComponents()
+}
+
+// SmartOptions configures Algorithms 2 and 3. The defaults are the paper's
+// settings: θl = 0.1, θh = 0.9, R = 100.
+type SmartOptions struct {
+	ThetaLow  float64
+	ThetaHigh float64
+	R         float64
+	// BatchSize is the maximum partition size Lmax; the number of parts is
+	// k = ceil((|T1|+|T2|)/BatchSize) as in Section 5.3.
+	BatchSize int
+}
+
+// DefaultSmartOptions returns the paper's parameter settings with the given
+// batch size.
+func DefaultSmartOptions(batchSize int) SmartOptions {
+	return SmartOptions{ThetaLow: 0.1, ThetaHigh: 0.9, R: 100, BatchSize: batchSize}
+}
+
+// AdjustedWeight implements the paper's edge re-weighting: high-probability
+// matches are rewarded by R, low-probability matches penalized by R, so the
+// partitioner avoids cutting edges that almost surely belong to the
+// evidence mapping.
+func (o SmartOptions) AdjustedWeight(p float64) float64 {
+	switch {
+	case p >= o.ThetaHigh:
+		return p * o.R
+	case p <= o.ThetaLow:
+		return p / o.R
+	default:
+		return p
+	}
+}
+
+// PrePartitionResult is the coarse graph of Algorithm 2 together with the
+// merge bookkeeping.
+type PrePartitionResult struct {
+	// Coarse is the merged graph Gc = (C1, C2, Mc) with adjusted edge
+	// weights between super-nodes.
+	Coarse *Graph
+	// NodeMap maps every original global node id to its super-node.
+	NodeMap []int
+	// Members lists original node ids per super-node.
+	Members [][]int
+}
+
+// PrePartition implements Algorithm 2: tuples connected by matches with
+// p ≥ θh are merged into super-nodes via DFS over high-probability edges;
+// the remaining matches become edges between super-nodes with adjusted
+// weights.
+func PrePartition(b *Bipartite, opt SmartOptions) *PrePartitionResult {
+	n := b.Size()
+	// High-probability adjacency only.
+	high := make([][]int, n)
+	for _, e := range b.Edges {
+		if e.P >= opt.ThetaHigh {
+			u, v := e.L, b.RightID(e.R)
+			high[u] = append(high[u], v)
+			high[v] = append(high[v], u)
+		}
+	}
+	nodeMap := make([]int, n)
+	for i := range nodeMap {
+		nodeMap[i] = -1
+	}
+	var members [][]int
+	stack := make([]int, 0, 16)
+	for s := 0; s < n; s++ {
+		if nodeMap[s] >= 0 {
+			continue
+		}
+		id := len(members)
+		var group []int
+		stack = append(stack[:0], s)
+		nodeMap[s] = id
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			group = append(group, u)
+			for _, v := range high[u] {
+				if nodeMap[v] < 0 {
+					nodeMap[v] = id
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(group)
+		members = append(members, group)
+	}
+	coarse := New(len(members))
+	for i, g := range members {
+		coarse.NodeWeight[i] = len(g)
+	}
+	for _, e := range b.Edges {
+		cu, cv := nodeMap[e.L], nodeMap[b.RightID(e.R)]
+		if cu == cv {
+			continue
+		}
+		coarse.AddEdge(cu, cv, opt.AdjustedWeight(e.P))
+	}
+	return &PrePartitionResult{Coarse: coarse, NodeMap: nodeMap, Members: members}
+}
+
+// SmartPartition implements Algorithm 3: pre-partition, run the multilevel
+// partitioner on the coarse graph with bound Lmax, then expand super-nodes
+// back to original node ids. The result is a list of partitions, each a
+// sorted list of global node ids. Super-nodes heavier than the batch size
+// become their own partition (they cannot be split without cutting a
+// high-probability match).
+func SmartPartition(b *Bipartite, opt SmartOptions) ([][]int, error) {
+	if opt.BatchSize < 1 {
+		return nil, fmt.Errorf("graph: SmartPartition requires BatchSize ≥ 1, got %d", opt.BatchSize)
+	}
+	pre := PrePartition(b, opt)
+	total := b.Size()
+	k := (total + opt.BatchSize - 1) / opt.BatchSize
+	if k < 1 {
+		k = 1
+	}
+	// Oversized super-nodes get dedicated parts; the partitioner handles
+	// the rest.
+	coarse := pre.Coarse
+	part, err := Partition(coarse, PartitionOptions{LMax: opt.BatchSize, K: k})
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[int][]int)
+	for cn, p := range part {
+		groups[p] = append(groups[p], cn)
+	}
+	keys := make([]int, 0, len(groups))
+	for p := range groups {
+		keys = append(keys, p)
+	}
+	sort.Ints(keys)
+	var out [][]int
+	for _, p := range keys {
+		var nodes []int
+		for _, cn := range groups[p] {
+			nodes = append(nodes, pre.Members[cn]...)
+		}
+		sort.Ints(nodes)
+		out = append(out, nodes)
+	}
+	return out, nil
+}

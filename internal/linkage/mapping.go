@@ -1,0 +1,292 @@
+package linkage
+
+import (
+	"fmt"
+	"sort"
+
+	"explain3d/internal/relation"
+)
+
+// Match is one candidate tuple match (ti, tj, p): L indexes the left
+// relation's rows, R the right's. Sim is the raw combined similarity; P is
+// the calibrated probability.
+type Match struct {
+	L, R int
+	Sim  float64
+	P    float64
+}
+
+// PairOptions controls candidate generation.
+type PairOptions struct {
+	// MinSim drops candidate pairs below this combined similarity
+	// (default 0.05 — pairs with essentially no evidence).
+	MinSim float64
+	// Block enables token blocking: only pairs sharing at least
+	// MinSharedTokens tokens on the matched string attributes are scored.
+	// Without blocking every pair is scored (quadratic).
+	Block bool
+	// MinSharedTokens is the blocking threshold (default 1). Raising it to
+	// 2 prunes pairs that only share a frequent token (articles, common
+	// vocabulary words) and keeps large workloads tractable.
+	MinSharedTokens int
+}
+
+// DefaultPairOptions enables blocking with the default similarity floor.
+func DefaultPairOptions() PairOptions {
+	return PairOptions{MinSim: 0.05, Block: true, MinSharedTokens: 1}
+}
+
+// Similarities scores candidate tuple pairs between left and right over
+// the aligned matching attribute indexes (leftIdx[i] ↔ rightIdx[i]).
+func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt PairOptions) ([]Match, error) {
+	if len(leftIdx) != len(rightIdx) || len(leftIdx) == 0 {
+		return nil, fmt.Errorf("linkage: need equal, non-empty attribute index lists (got %d and %d)", len(leftIdx), len(rightIdx))
+	}
+	if opt.MinSharedTokens < 1 {
+		opt.MinSharedTokens = 1
+	}
+	// Precompute per-row token sets for string columns so scoring a pair
+	// never re-tokenizes.
+	lTok := tokenTables(left, leftIdx)
+	rTok := tokenTables(right, rightIdx)
+	var out []Match
+	score := func(i, j int) {
+		total := 0.0
+		for k := range leftIdx {
+			lv, rv := left.Rows[i][leftIdx[k]], right.Rows[j][rightIdx[k]]
+			if lTok[k] != nil && rTok[k] != nil && !lv.IsNull() && !rv.IsNull() && !(lv.IsNumeric() && rv.IsNumeric()) {
+				total += JaccardTokens(lTok[k][i], rTok[k][j])
+			} else {
+				total += ValueSim(lv, rv)
+			}
+		}
+		s := total / float64(len(leftIdx))
+		if s >= opt.MinSim && s > 0 {
+			out = append(out, Match{L: i, R: j, Sim: s})
+		}
+	}
+	if !opt.Block || (!anyStringColumn(left, leftIdx) && !anyStringColumn(right, rightIdx)) {
+		// Unblocked, or numeric-only matching attributes where token
+		// blocking is meaningless: score the cross product.
+		for i := range left.Rows {
+			for j := range right.Rows {
+				score(i, j)
+			}
+		}
+		return out, nil
+	}
+	// Token blocking: inverted index over right-side tokens of the matched
+	// string attributes; a pair is scored when it shares at least
+	// MinSharedTokens distinct tokens.
+	index := make(map[string][]int)
+	for j, row := range right.Rows {
+		seen := make(map[string]bool)
+		for k, c := range rightIdx {
+			if rTok[k] == nil || row[c].IsNull() {
+				continue
+			}
+			for tok := range rTok[k][j] {
+				if !seen[tok] {
+					seen[tok] = true
+					index[tok] = append(index[tok], j)
+				}
+			}
+		}
+	}
+	for i, row := range left.Rows {
+		cand := make(map[int]int)
+		seen := make(map[string]bool)
+		for k, c := range leftIdx {
+			if lTok[k] == nil || row[c].IsNull() {
+				continue
+			}
+			for tok := range lTok[k][i] {
+				if seen[tok] {
+					continue
+				}
+				seen[tok] = true
+				for _, j := range index[tok] {
+					cand[j]++
+				}
+			}
+		}
+		js := make([]int, 0, len(cand))
+		for j, shared := range cand {
+			if shared >= opt.MinSharedTokens {
+				js = append(js, j)
+			}
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			score(i, j)
+		}
+	}
+	return out, nil
+}
+
+// tokenTables precomputes token sets per matched column; entry k is nil
+// when column k is numeric (numeric similarity is used instead).
+func tokenTables(r *relation.Relation, idx []int) []map[int]map[string]bool {
+	out := make([]map[int]map[string]bool, len(idx))
+	for k, c := range idx {
+		numericOnly := true
+		for _, row := range r.Rows {
+			v := row[c]
+			if v.IsNull() {
+				continue
+			}
+			if !v.IsNumeric() {
+				numericOnly = false
+			}
+			break
+		}
+		if numericOnly {
+			continue
+		}
+		tbl := make(map[int]map[string]bool, len(r.Rows))
+		for i, row := range r.Rows {
+			v := row[c]
+			if v.IsNull() || v.IsNumeric() {
+				continue
+			}
+			tbl[i] = TokenSet(v.String())
+		}
+		out[k] = tbl
+	}
+	return out
+}
+
+// anyStringColumn reports whether any matched column holds a non-numeric,
+// non-NULL value (checked against the first such value per column).
+func anyStringColumn(r *relation.Relation, idx []int) bool {
+	for _, c := range idx {
+		for _, row := range r.Rows {
+			v := row[c]
+			if v.IsNull() {
+				continue
+			}
+			if !v.IsNumeric() {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// Calibrator implements the paper's two-step similarity-to-probability
+// method: divide matches into k contiguous similarity buckets, then set
+// each bucket's probability to its fraction of true matches in a labeled
+// sample.
+type Calibrator struct {
+	k      int
+	probs  []float64
+	fit    bool
+	smooth bool
+}
+
+// NewCalibrator creates a calibrator with k buckets (the paper uses 50).
+func NewCalibrator(k int) *Calibrator {
+	if k < 1 {
+		k = 1
+	}
+	return &Calibrator{k: k}
+}
+
+// NewSmoothedCalibrator creates a calibrator with Laplace smoothing:
+// bucket probabilities are (true+1)/(count+2), so sparsely observed
+// buckets stay uncertain instead of collapsing to 0 or 1 — the realistic
+// behavior when only a sample of matches is labeled.
+func NewSmoothedCalibrator(k int) *Calibrator {
+	c := NewCalibrator(k)
+	c.smooth = true
+	return c
+}
+
+func (c *Calibrator) bucket(sim float64) int {
+	b := int(sim * float64(c.k))
+	if b >= c.k {
+		b = c.k - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Fit learns bucket probabilities from labeled similarities. Buckets with
+// no observations inherit the nearest fitted bucket below them (and above
+// as a fallback), so Prob is total.
+func (c *Calibrator) Fit(sims []float64, truth []bool) error {
+	if len(sims) != len(truth) {
+		return fmt.Errorf("linkage: Fit requires aligned slices, got %d and %d", len(sims), len(truth))
+	}
+	counts := make([]int, c.k)
+	trues := make([]int, c.k)
+	for i, s := range sims {
+		b := c.bucket(s)
+		counts[b]++
+		if truth[i] {
+			trues[b]++
+		}
+	}
+	c.probs = make([]float64, c.k)
+	for b := range c.probs {
+		switch {
+		case counts[b] > 0 && c.smooth:
+			c.probs[b] = float64(trues[b]+1) / float64(counts[b]+2)
+		case counts[b] > 0:
+			c.probs[b] = float64(trues[b]) / float64(counts[b])
+		default:
+			c.probs[b] = -1 // fill below
+		}
+	}
+	// Fill gaps from below, then above.
+	last := -1.0
+	for b := 0; b < c.k; b++ {
+		if c.probs[b] >= 0 {
+			last = c.probs[b]
+		} else if last >= 0 {
+			c.probs[b] = last
+		}
+	}
+	last = -1
+	for b := c.k - 1; b >= 0; b-- {
+		if c.probs[b] >= 0 {
+			last = c.probs[b]
+		} else if last >= 0 {
+			c.probs[b] = last
+		}
+	}
+	for b := range c.probs {
+		if c.probs[b] < 0 {
+			c.probs[b] = 0.5 // no labels at all: uninformative prior
+		}
+	}
+	c.fit = true
+	return nil
+}
+
+// Prob maps a similarity to its calibrated probability.
+func (c *Calibrator) Prob(sim float64) float64 {
+	if !c.fit {
+		return sim // identity fallback: treat similarity as probability
+	}
+	return c.probs[c.bucket(sim)]
+}
+
+// Calibrate assigns P to every match using the calibrator and drops
+// matches with probability 0 (they carry no evidence and would only bloat
+// the optimization problem).
+func Calibrate(matches []Match, c *Calibrator) []Match {
+	out := make([]Match, 0, len(matches))
+	for _, m := range matches {
+		p := c.Prob(m.Sim)
+		if p <= 0 {
+			continue
+		}
+		m.P = p
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package linkage
+
+import (
+	"fmt"
+
+	"explain3d/internal/relation"
+)
+
+// swooshRecord is a (possibly merged) entity: the union of its members'
+// token sets plus the provenance of which source rows it absorbed.
+type swooshRecord struct {
+	tokens map[string]bool
+	lefts  []int
+	rights []int
+}
+
+func newSwooshRecord(row relation.Tuple, idx []int, rowID int, isLeft bool) *swooshRecord {
+	rec := &swooshRecord{tokens: make(map[string]bool)}
+	for _, c := range idx {
+		v := row[c]
+		if v.IsNull() {
+			continue
+		}
+		for _, t := range Tokenize(v.String()) {
+			rec.tokens[t] = true
+		}
+	}
+	if isLeft {
+		rec.lefts = append(rec.lefts, rowID)
+	} else {
+		rec.rights = append(rec.rights, rowID)
+	}
+	return rec
+}
+
+// merge combines two records (the "dominating merge" of the Swoosh model:
+// token union, provenance union).
+func (r *swooshRecord) merge(o *swooshRecord) *swooshRecord {
+	out := &swooshRecord{tokens: make(map[string]bool, len(r.tokens)+len(o.tokens))}
+	for t := range r.tokens {
+		out.tokens[t] = true
+	}
+	for t := range o.tokens {
+		out.tokens[t] = true
+	}
+	out.lefts = append(append([]int(nil), r.lefts...), o.lefts...)
+	out.rights = append(append([]int(nil), r.rights...), o.rights...)
+	return out
+}
+
+// RSwoosh runs the R-Swoosh entity-resolution algorithm (Benjelloun et
+// al., VLDB Journal 2009) over the union of both relations' tuples,
+// matching records by token Jaccard ≥ threshold over the matching
+// attributes. It returns the implied cross-dataset tuple matches, all with
+// probability 1 (R-Swoosh is deterministic). The paper evaluates it with
+// threshold 0.75.
+func RSwoosh(left, right *relation.Relation, leftIdx, rightIdx []int, threshold float64) ([]Match, error) {
+	if len(leftIdx) == 0 || len(leftIdx) != len(rightIdx) {
+		return nil, fmt.Errorf("linkage: RSwoosh needs aligned attribute indexes")
+	}
+	// R holds unprocessed records, Rp ("R prime") the resolved set.
+	var r []*swooshRecord
+	for i, row := range left.Rows {
+		r = append(r, newSwooshRecord(row, leftIdx, i, true))
+	}
+	for j, row := range right.Rows {
+		r = append(r, newSwooshRecord(row, rightIdx, j, false))
+	}
+	var rp []*swooshRecord
+	for len(r) > 0 {
+		cur := r[len(r)-1]
+		r = r[:len(r)-1]
+		matched := -1
+		for k, other := range rp {
+			if JaccardTokens(cur.tokens, other.tokens) >= threshold {
+				matched = k
+				break
+			}
+		}
+		if matched < 0 {
+			rp = append(rp, cur)
+			continue
+		}
+		other := rp[matched]
+		rp = append(rp[:matched], rp[matched+1:]...)
+		r = append(r, cur.merge(other))
+	}
+	// Cross-dataset pairs inside each resolved entity become matches.
+	var out []Match
+	for _, rec := range rp {
+		for _, l := range rec.lefts {
+			for _, rr := range rec.rights {
+				out = append(out, Match{L: l, R: rr, Sim: 1, P: 1})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+// Package metrics implements the evaluation measures of Section 5.1.4:
+// precision, recall, and F-measure over explanation and evidence identity
+// sets.
+package metrics
+
+import "fmt"
+
+// PRF bundles precision, recall, and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders the three values.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f", p.Precision, p.Recall, p.F1)
+}
+
+// Score compares a derived identity set against the gold standard.
+// Precision is |derived ∩ gold| / |derived|, recall |derived ∩ gold| /
+// |gold|, F1 their harmonic mean. Empty-vs-empty scores perfectly; empty
+// gold with non-empty derived scores zero precision.
+func Score(derived, gold []string) PRF {
+	derivedSet := dedup(derived)
+	goldSet := dedup(gold)
+	if len(derivedSet) == 0 && len(goldSet) == 0 {
+		return PRF{Precision: 1, Recall: 1, F1: 1}
+	}
+	inter := 0
+	for k := range derivedSet {
+		if goldSet[k] {
+			inter++
+		}
+	}
+	var p, r float64
+	if len(derivedSet) > 0 {
+		p = float64(inter) / float64(len(derivedSet))
+	}
+	if len(goldSet) > 0 {
+		r = float64(inter) / float64(len(goldSet))
+	} else {
+		r = 1
+	}
+	return PRF{Precision: p, Recall: r, F1: f1(p, r)}
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func dedup(keys []string) map[string]bool {
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+// Mean averages a slice of PRFs component-wise (used for the IMDb
+// experiments, which average over query instantiations).
+func Mean(scores []PRF) PRF {
+	if len(scores) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, s := range scores {
+		out.Precision += s.Precision
+		out.Recall += s.Recall
+		out.F1 += s.F1
+	}
+	n := float64(len(scores))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}

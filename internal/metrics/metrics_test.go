@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScoreBasic(t *testing.T) {
+	got := Score([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if !almost(got.Precision, 2.0/3) || !almost(got.Recall, 2.0/3) || !almost(got.F1, 2.0/3) {
+		t.Fatalf("score = %+v", got)
+	}
+}
+
+func TestScorePerfect(t *testing.T) {
+	got := Score([]string{"x"}, []string{"x"})
+	if got.F1 != 1 {
+		t.Fatalf("score = %+v", got)
+	}
+}
+
+func TestScoreEmptyCases(t *testing.T) {
+	if got := Score(nil, nil); got.F1 != 1 {
+		t.Fatalf("empty/empty = %+v", got)
+	}
+	if got := Score([]string{"a"}, nil); got.Precision != 0 || got.Recall != 1 {
+		t.Fatalf("derived/empty-gold = %+v", got)
+	}
+	if got := Score(nil, []string{"a"}); got.Recall != 0 {
+		t.Fatalf("empty/gold = %+v", got)
+	}
+}
+
+func TestScoreDedup(t *testing.T) {
+	got := Score([]string{"a", "a", "b"}, []string{"a"})
+	if !almost(got.Precision, 0.5) || !almost(got.Recall, 1) {
+		t.Fatalf("score = %+v", got)
+	}
+}
+
+// Property: precision and recall are always within [0,1] and F1 is their
+// harmonic mean.
+func TestScoreBounds(t *testing.T) {
+	f := func(d, g []string) bool {
+		s := Score(d, g)
+		if s.Precision < 0 || s.Precision > 1 || s.Recall < 0 || s.Recall > 1 {
+			return false
+		}
+		if s.Precision+s.Recall == 0 {
+			return s.F1 == 0
+		}
+		return almost(s.F1, 2*s.Precision*s.Recall/(s.Precision+s.Recall))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]PRF{{1, 1, 1}, {0, 0, 0}})
+	if !almost(m.Precision, 0.5) || !almost(m.F1, 0.5) {
+		t.Fatalf("mean = %+v", m)
+	}
+	if got := Mean(nil); got != (PRF{}) {
+		t.Fatalf("mean(nil) = %+v", got)
+	}
+}

@@ -1,0 +1,335 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Solve optimizes the model. Block decomposition splits the model into
+// independent sub-problems first; each block is solved by LP-based
+// branch-and-bound. The returned solution carries StatusLimit when a budget
+// expired but a feasible incumbent exists.
+func Solve(m *Model, opt Options) (*Solution, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	var deadline time.Time
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	// Constant (empty) rows arise when coefficient merging cancels every
+	// term; they are feasibility facts, not constraints on variables.
+	for _, r := range m.rows {
+		if len(r.terms) > 0 {
+			continue
+		}
+		ok := true
+		switch r.sense {
+		case LE:
+			ok = 0 <= r.rhs+feasTol
+		case GE:
+			ok = 0 >= r.rhs-feasTol
+		case EQ:
+			ok = math.Abs(r.rhs) <= feasTol
+		}
+		if !ok {
+			return &Solution{Status: StatusInfeasible, X: make([]float64, len(m.vars))}, nil
+		}
+	}
+
+	blocks := m.blocks(opt.DisableBlocks)
+	sol := &Solution{X: make([]float64, len(m.vars)), Blocks: len(blocks), Status: StatusOptimal}
+	sol.Objective = m.objConst
+
+	for _, blk := range blocks {
+		sub, mapping := m.subModel(blk)
+		var warm []float64
+		if opt.WarmStart != nil {
+			warm = make([]float64, len(mapping))
+			for i, gv := range mapping {
+				warm[i] = opt.WarmStart[gv]
+			}
+			if sub.CheckFeasible(warm, 1e-6) != nil {
+				warm = nil
+			}
+		}
+		res := branchAndBound(sub, opt, warm, deadline)
+		sol.Nodes += res.nodes
+		switch res.status {
+		case StatusInfeasible:
+			return &Solution{Status: StatusInfeasible, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+		case StatusUnbounded:
+			return &Solution{Status: StatusUnbounded, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+		case StatusNoSolution:
+			return &Solution{Status: StatusNoSolution, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+		case StatusLimit:
+			sol.Status = StatusLimit
+		}
+		for i, gv := range mapping {
+			sol.X[gv] = res.x[i]
+		}
+		sol.Objective += res.objective
+	}
+	return sol, nil
+}
+
+// blocks partitions variables into connected components of the
+// variable/constraint graph. Isolated variables are folded into a single
+// block so their bound-selection is still performed.
+func (m *Model) blocks(disable bool) [][]int {
+	n := len(m.vars)
+	if n == 0 {
+		return nil
+	}
+	if disable {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, r := range m.rows {
+		for i := 1; i < len(r.terms); i++ {
+			union(int(r.terms[0].Var), int(r.terms[i].Var))
+		}
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		root := find(v)
+		groups[root] = append(groups[root], v)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	// Deterministic order: by smallest member.
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// subModel extracts the sub-problem over the given variables. mapping[i]
+// is the global index of local variable i.
+func (m *Model) subModel(vars []int) (*Model, []int) {
+	local := make(map[int]int, len(vars))
+	mapping := make([]int, len(vars))
+	sub := NewModel(m.Name, m.sense)
+	for i, gv := range vars {
+		local[gv] = i
+		mapping[i] = gv
+		vd := m.vars[gv]
+		sub.vars = append(sub.vars, vd)
+	}
+	for _, r := range m.rows {
+		if len(r.terms) == 0 {
+			continue
+		}
+		if _, ok := local[int(r.terms[0].Var)]; !ok {
+			continue
+		}
+		terms := make([]Term, len(r.terms))
+		for i, t := range r.terms {
+			terms[i] = Term{Var: Var(local[int(t.Var)]), Coef: t.Coef}
+		}
+		sub.rows = append(sub.rows, rowData{name: r.name, terms: terms, sense: r.sense, rhs: r.rhs})
+	}
+	return sub, mapping
+}
+
+type bbResult struct {
+	status    Status
+	objective float64
+	x         []float64
+	nodes     int
+}
+
+type bbNode struct {
+	lb, ub []float64
+	depth  int
+}
+
+// branchAndBound solves one block. Internally everything is a
+// minimization; maximization models are negated on entry and restored on
+// exit.
+func branchAndBound(m *Model, opt Options, warm []float64, deadline time.Time) bbResult {
+	n := len(m.vars)
+	c := make([]float64, n)
+	sign := 1.0
+	if m.sense == Maximize {
+		sign = -1
+	}
+	for i, v := range m.vars {
+		c[i] = sign * v.obj
+	}
+	rootLB := make([]float64, n)
+	rootUB := make([]float64, n)
+	for i, v := range m.vars {
+		rootLB[i] = v.lb
+		rootUB[i] = v.ub
+	}
+	intVars := make([]int, 0, n)
+	for i, v := range m.vars {
+		if v.vt != Continuous {
+			intVars = append(intVars, i)
+		}
+	}
+
+	best := math.Inf(1)
+	var bestX []float64
+	if warm != nil {
+		best = sign * m.objectiveOf(warm) // objectiveOf includes objConst=0 for subModels
+		bestX = append([]float64(nil), warm...)
+	}
+
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	stack := []bbNode{{lb: rootLB, ub: rootUB}}
+	nodes := 0
+	hitLimit := false
+	for len(stack) > 0 {
+		if nodes >= opt.MaxNodes || expired() {
+			hitLimit = true
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		st, obj, x := solveLP(c, node.lb, node.ub, m.rows, deadline)
+		switch st {
+		case lpInfeasible:
+			continue
+		case lpIterLimit:
+			hitLimit = true
+			continue
+		case lpUnbounded:
+			if nodes == 1 {
+				return bbResult{status: StatusUnbounded, nodes: nodes}
+			}
+			continue
+		}
+		if obj >= best-1e-9 {
+			continue // bound cannot improve incumbent
+		}
+		// Find the highest-priority, most fractional integer variable.
+		branchVar := -1
+		worst := opt.IntTol
+		bestPri := math.MinInt32
+		for _, iv := range intVars {
+			f := x[iv] - math.Floor(x[iv])
+			frac := math.Min(f, 1-f)
+			if frac <= opt.IntTol {
+				continue
+			}
+			pri := m.vars[iv].pri
+			if pri > bestPri || (pri == bestPri && frac > worst) {
+				bestPri = pri
+				worst = frac
+				branchVar = iv
+			}
+		}
+		if branchVar < 0 {
+			// Integral solution (snap near-integers exactly).
+			for _, iv := range intVars {
+				x[iv] = math.Round(x[iv])
+			}
+			if obj < best {
+				best = obj
+				bestX = x
+			}
+			continue
+		}
+		// Rounding heuristic: snap all integer variables and test.
+		if bestX == nil {
+			rounded := append([]float64(nil), x...)
+			for _, iv := range intVars {
+				rounded[iv] = math.Round(rounded[iv])
+				rounded[iv] = math.Max(node.lb[iv], math.Min(node.ub[iv], rounded[iv]))
+			}
+			if m.CheckFeasible(rounded, 1e-6) == nil {
+				robj := 0.0
+				for i := range rounded {
+					robj += c[i] * rounded[i]
+				}
+				if robj < best {
+					best = robj
+					bestX = rounded
+				}
+			}
+		}
+		if opt.RelGap > 0 && bestX != nil {
+			if (best-obj)/math.Max(1e-9, math.Abs(best)) <= opt.RelGap {
+				continue
+			}
+		}
+		// Branch: explore the side nearest the LP value first (pushed last).
+		fl := math.Floor(x[branchVar])
+		downLB := append([]float64(nil), node.lb...)
+		downUB := append([]float64(nil), node.ub...)
+		downUB[branchVar] = fl
+		upLB := append([]float64(nil), node.lb...)
+		upUB := append([]float64(nil), node.ub...)
+		upLB[branchVar] = fl + 1
+		down := bbNode{lb: downLB, ub: downUB, depth: node.depth + 1}
+		up := bbNode{lb: upLB, ub: upUB, depth: node.depth + 1}
+		if x[branchVar]-fl > 0.5 {
+			stack = append(stack, down, up)
+		} else {
+			stack = append(stack, up, down)
+		}
+	}
+
+	if bestX == nil {
+		if hitLimit {
+			return bbResult{status: StatusNoSolution, nodes: nodes}
+		}
+		return bbResult{status: StatusInfeasible, nodes: nodes}
+	}
+	status := StatusOptimal
+	if hitLimit {
+		status = StatusLimit
+	}
+	// Restore sign and pad objective.
+	obj := 0.0
+	for i := range bestX {
+		obj += m.vars[i].obj * bestX[i]
+	}
+	return bbResult{status: status, objective: obj, x: bestX, nodes: nodes}
+}
+
+// String summarizes model dimensions.
+func (m *Model) String() string {
+	nb, ni := 0, 0
+	for _, v := range m.vars {
+		switch v.vt {
+		case Binary:
+			nb++
+		case Integer:
+			ni++
+		}
+	}
+	return fmt.Sprintf("milp(%s: %d vars [%d bin, %d int], %d rows)", m.Name, len(m.vars), nb, ni, len(m.rows))
+}

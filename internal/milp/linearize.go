@@ -1,0 +1,48 @@
+package milp
+
+// Linearization helpers for the bilinear terms that appear in the paper's
+// MILP encoding (Section 3.2). On binary inputs the McCormick envelope is
+// exact, so these reformulations preserve optimality.
+
+// ProductBinary adds w = x·y for binary x, y via the McCormick envelope:
+//
+//	w ≤ x,  w ≤ y,  w ≥ x + y − 1,  w ∈ [0,1].
+func (m *Model) ProductBinary(x, y Var, name string) Var {
+	w := m.AddVar(0, 1, Continuous, name)
+	m.AddConstr([]Term{{w, 1}, {x, -1}}, LE, 0, name+"_le_x")
+	m.AddConstr([]Term{{w, 1}, {y, -1}}, LE, 0, name+"_le_y")
+	m.AddConstr([]Term{{w, 1}, {x, -1}, {y, -1}}, GE, -1, name+"_ge_sum")
+	return w
+}
+
+// ProductBinaryCont adds p = z·v for binary z and continuous v ∈ [lo, hi]
+// (the paper's Equation 11):
+//
+//	p ≤ hi·z,  p ≥ lo·z,  p ≤ v − lo·(1−z),  p ≥ v − hi·(1−z).
+func (m *Model) ProductBinaryCont(z, v Var, lo, hi float64, name string) Var {
+	pLo, pHi := lo, hi
+	if pLo > 0 {
+		pLo = 0
+	}
+	if pHi < 0 {
+		pHi = 0
+	}
+	p := m.AddVar(pLo, pHi, Continuous, name)
+	m.AddConstr([]Term{{p, 1}, {z, -hi}}, LE, 0, name+"_ub_z")
+	m.AddConstr([]Term{{p, 1}, {z, -lo}}, GE, 0, name+"_lb_z")
+	m.AddConstr([]Term{{p, 1}, {v, -1}, {z, -lo}}, LE, -lo, name+"_ub_v")
+	m.AddConstr([]Term{{p, 1}, {v, -1}, {z, -hi}}, GE, -hi, name+"_lb_v")
+	return p
+}
+
+// IndicatorEq enforces y = 1 ⟹ v = target for binary y and continuous
+// v ∈ [lo, hi] via big-M rows (the paper's Equation 7):
+//
+//	v − target ≤ (hi − target)·(1−y),
+//	v − target ≥ (lo − target)·(1−y).
+func (m *Model) IndicatorEq(y, v Var, target, lo, hi float64, name string) {
+	// v + (hi-target)·y ≤ hi
+	m.AddConstr([]Term{{v, 1}, {y, hi - target}}, LE, hi, name+"_ub")
+	// v + (lo-target)·y ≥ lo
+	m.AddConstr([]Term{{v, 1}, {y, lo - target}}, GE, lo, name+"_lb")
+}

@@ -1,0 +1,462 @@
+package milp
+
+import (
+	"math"
+	"time"
+)
+
+// lpStatus is the outcome of a linear-relaxation solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota
+	lpInfeasible
+	lpUnbounded
+	lpIterLimit
+)
+
+const (
+	feasTol  = 1e-7 // feasibility tolerance
+	costTol  = 1e-7 // reduced-cost tolerance
+	pivotTol = 1e-9 // minimum acceptable pivot magnitude
+)
+
+// varStatus tracks where a column currently lives.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	inBasis
+)
+
+// simplex is a dense-tableau bounded-variable primal simplex. Columns are
+// the structural variables followed by slacks and artificials. The tableau
+// T is kept as B⁻¹A; xB holds the current basic values.
+type simplex struct {
+	m, n     int // rows, total columns
+	nStruct  int // structural columns
+	artStart int // first artificial column
+	T        [][]float64
+	lb, ub   []float64
+	cost     []float64 // phase-specific costs
+	realCost []float64
+	status   []varStatus
+	basis    []int // column basic in each row
+	rowOf    []int // basis row of a column, -1 if nonbasic
+	xB       []float64
+	d        []float64 // reduced costs, maintained incrementally
+	maxIter  int
+	deadline time.Time // zero = no limit
+}
+
+// newSimplex builds the working problem from a (minimization) model slice:
+// costs c over nv structural vars with bounds lb/ub, and rows. It crashes
+// an initial basis from slacks wherever the slack's sign admits the
+// initial residual, reserving artificial columns — and hence phase-1
+// effort — for the rows that genuinely need them.
+func newSimplex(c, lb, ub []float64, rows []rowData) *simplex {
+	m := len(rows)
+	nv := len(c)
+	// Residuals at the all-at-lower-bound starting point, and which rows
+	// can seat their slack directly.
+	res := make([]float64, m)
+	needArt := make([]bool, m)
+	nSlack, nArt := 0, 0
+	for i, r := range rows {
+		ri := r.rhs
+		for _, t := range r.terms {
+			ri -= t.Coef * lb[t.Var]
+		}
+		res[i] = ri
+		switch {
+		case r.sense == LE && ri >= 0:
+		case r.sense == GE && ri <= 0:
+		default:
+			needArt[i] = true
+			nArt++
+		}
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	n := nv + nSlack + nArt
+	s := &simplex{
+		m: m, n: n, nStruct: nv, artStart: nv + nSlack,
+		T:        make([][]float64, m),
+		lb:       make([]float64, n),
+		ub:       make([]float64, n),
+		cost:     make([]float64, n),
+		realCost: make([]float64, n),
+		status:   make([]varStatus, n),
+		basis:    make([]int, m),
+		rowOf:    make([]int, n),
+		xB:       make([]float64, m),
+		d:        make([]float64, n),
+		maxIter:  20000 + 200*(m+nv),
+	}
+	for j := range s.rowOf {
+		s.rowOf[j] = -1
+	}
+	copy(s.realCost, c)
+	copy(s.lb, lb)
+	copy(s.ub, ub)
+	for j := nv; j < n; j++ {
+		s.lb[j] = 0
+		s.ub[j] = Inf
+	}
+	for j := 0; j < n; j++ {
+		s.status[j] = atLower
+	}
+	seat := func(i, col int, val float64) {
+		s.basis[i] = col
+		s.rowOf[col] = i
+		s.status[col] = inBasis
+		s.xB[i] = val
+	}
+	slack := nv
+	art := s.artStart
+	for i, r := range rows {
+		row := make([]float64, n)
+		for _, t := range r.terms {
+			row[t.Var] += t.Coef
+		}
+		s.T[i] = row
+		sign := 1.0
+		switch r.sense {
+		case LE:
+			row[slack] = 1
+			if !needArt[i] {
+				seat(i, slack, res[i])
+			}
+			slack++
+		case GE:
+			row[slack] = -1
+			if !needArt[i] {
+				// Normalize so the basic (slack) column becomes +1.
+				sign = -1
+				seat(i, slack, -res[i])
+			}
+			slack++
+		}
+		if needArt[i] {
+			if res[i] >= 0 {
+				row[art] = 1
+			} else {
+				row[art] = -1
+				sign = -1
+			}
+			seat(i, art, math.Abs(res[i]))
+			art++
+		}
+		if sign < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+		}
+	}
+	return s
+}
+
+// solve runs phase 1 then phase 2 and reports the outcome. On lpOptimal the
+// structural solution is available via values().
+func (s *simplex) solve() lpStatus {
+	// Phase 1: minimize the sum of artificials.
+	for j := range s.cost {
+		s.cost[j] = 0
+	}
+	for j := s.artStart; j < s.n; j++ {
+		s.cost[j] = 1
+	}
+	st := s.iterate(true)
+	if st == lpIterLimit {
+		return lpIterLimit
+	}
+	if s.phaseObjective() > 1e-6 {
+		return lpInfeasible
+	}
+	// Pin artificials to zero so they never re-enter with nonzero value.
+	for j := s.artStart; j < s.n; j++ {
+		s.ub[j] = 0
+	}
+	// Phase 2: real costs.
+	copy(s.cost, s.realCost)
+	for j := s.nStruct; j < s.n; j++ {
+		s.cost[j] = 0
+	}
+	return s.iterate(false)
+}
+
+// phaseObjective evaluates the current phase costs at the current point.
+func (s *simplex) phaseObjective() float64 {
+	obj := 0.0
+	for j := 0; j < s.n; j++ {
+		if s.cost[j] != 0 {
+			obj += s.cost[j] * s.valueOf(j)
+		}
+	}
+	return obj
+}
+
+func (s *simplex) valueOf(j int) float64 {
+	switch s.status[j] {
+	case atLower:
+		return s.lb[j]
+	case atUpper:
+		return s.ub[j]
+	default:
+		return s.xB[s.rowOf[j]]
+	}
+}
+
+// values extracts the structural solution.
+func (s *simplex) values() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		switch s.status[j] {
+		case atLower:
+			x[j] = s.lb[j]
+		case atUpper:
+			x[j] = s.ub[j]
+		}
+	}
+	for i, b := range s.basis {
+		if b < s.nStruct {
+			x[b] = s.xB[i]
+		}
+	}
+	return x
+}
+
+// objective evaluates the real costs at the current point.
+func (s *simplex) objective() float64 {
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		if s.realCost[j] != 0 {
+			obj += s.realCost[j] * s.valueOf(j)
+		}
+	}
+	return obj
+}
+
+// computeReducedCosts refreshes d = c - c_B·T from scratch. It runs at
+// phase starts and periodically to contain numerical drift; in between,
+// pivot maintains d incrementally.
+func (s *simplex) computeReducedCosts() {
+	copy(s.d, s.cost)
+	for i, b := range s.basis {
+		cb := s.cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := s.T[i]
+		for j := 0; j < s.n; j++ {
+			if row[j] != 0 {
+				s.d[j] -= cb * row[j]
+			}
+		}
+	}
+}
+
+// iterate pivots until optimal for the current phase. phase1 permits
+// artificial columns to participate; phase 2 freezes them.
+func (s *simplex) iterate(phase1 bool) lpStatus {
+	degenerate := 0
+	bland := false
+	s.computeReducedCosts()
+	for iter := 0; iter < s.maxIter; iter++ {
+		if iter%512 == 511 {
+			s.computeReducedCosts() // contain incremental drift
+		}
+		if iter%64 == 63 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return lpIterLimit
+		}
+		d := s.d
+		enter := -1
+		bestViol := costTol
+		limit := s.n
+		if !phase1 {
+			limit = s.artStart
+		}
+		for j := 0; j < limit; j++ {
+			if s.status[j] == inBasis {
+				continue
+			}
+			if s.ub[j]-s.lb[j] < feasTol {
+				continue // fixed column
+			}
+			var viol float64
+			if s.status[j] == atLower && d[j] < -costTol {
+				viol = -d[j]
+			} else if s.status[j] == atUpper && d[j] > costTol {
+				viol = d[j]
+			} else {
+				continue
+			}
+			if bland {
+				enter = j
+				break
+			}
+			if viol > bestViol {
+				bestViol = viol
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return lpOptimal
+		}
+		dir := 1.0
+		if s.status[enter] == atUpper {
+			dir = -1
+		}
+		// Ratio test: the entering variable may travel until it hits its own
+		// opposite bound (tBound) or drives a basic variable to one of its
+		// bounds (tRow).
+		tBound := s.ub[enter] - s.lb[enter]
+		tRow := math.Inf(1)
+		leaveRow := -1
+		leaveAt := atLower
+		for i := 0; i < s.m; i++ {
+			delta := -s.T[i][enter] * dir
+			k := s.basis[i]
+			var ti float64
+			var at varStatus
+			switch {
+			case delta > pivotTol:
+				if math.IsInf(s.ub[k], 1) {
+					continue
+				}
+				ti = (s.ub[k] - s.xB[i]) / delta
+				at = atUpper
+			case delta < -pivotTol:
+				ti = (s.lb[k] - s.xB[i]) / delta
+				at = atLower
+			default:
+				continue
+			}
+			if ti < 0 {
+				ti = 0
+			}
+			// Prefer strictly smaller ratios; on near-ties take the larger
+			// pivot magnitude for numerical stability.
+			if ti < tRow-feasTol || (ti < tRow+feasTol && leaveRow >= 0 && math.Abs(s.T[i][enter]) > math.Abs(s.T[leaveRow][enter])) {
+				tRow = ti
+				leaveRow = i
+				leaveAt = at
+			}
+		}
+		step := math.Min(tBound, tRow)
+		if math.IsInf(step, 1) {
+			return lpUnbounded
+		}
+		// Apply the step to basic values.
+		if step != 0 {
+			for i := 0; i < s.m; i++ {
+				if s.T[i][enter] != 0 {
+					s.xB[i] -= s.T[i][enter] * dir * step
+				}
+			}
+		}
+		if tBound <= tRow {
+			// Pure bound flip (no basis change).
+			if s.status[enter] == atLower {
+				s.status[enter] = atUpper
+			} else {
+				s.status[enter] = atLower
+			}
+		} else {
+			s.pivot(leaveRow, enter, dir, step, leaveAt)
+		}
+		// Anti-cycling: the objective improves by |d_enter|·step, so a run
+		// of zero-step iterations signals degeneracy; switch to Bland's
+		// rule, which guarantees termination.
+		if step > 1e-12 {
+			degenerate = 0
+			bland = false
+		} else {
+			degenerate++
+			if degenerate > 400 {
+				bland = true
+			}
+		}
+	}
+	return lpIterLimit
+}
+
+// pivot brings column `enter` into the basis at row r; the departing
+// column rests at leaveAt. The entering variable's new value is its
+// starting bound plus dir·t.
+func (s *simplex) pivot(r, enter int, dir, t float64, leaveAt varStatus) {
+	leaving := s.basis[r]
+	s.status[leaving] = leaveAt
+	enterVal := s.lb[enter]
+	if dir < 0 {
+		enterVal = s.ub[enter]
+	}
+	enterVal += dir * t
+
+	row := s.T[r]
+	piv := row[enter]
+	inv := 1.0 / piv
+	for j := 0; j < s.n; j++ {
+		row[j] *= inv
+	}
+	row[enter] = 1 // exact
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.T[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := s.T[i]
+		for j := 0; j < s.n; j++ {
+			if row[j] != 0 {
+				ri[j] -= f * row[j]
+			}
+		}
+		ri[enter] = 0 // exact
+	}
+	// Maintain reduced costs: eliminate the entering column from d.
+	if f := s.d[enter]; f != 0 {
+		for j := 0; j < s.n; j++ {
+			if row[j] != 0 {
+				s.d[j] -= f * row[j]
+			}
+		}
+		s.d[enter] = 0 // exact
+	}
+	s.basis[r] = enter
+	s.rowOf[enter] = r
+	s.rowOf[leaving] = -1
+	s.status[enter] = inBasis
+	s.xB[r] = enterVal
+}
+
+// maxTableauCells caps dense-tableau memory (~320MB of float64); larger
+// relaxations are refused, which branch-and-bound reports as a budget
+// limit. Partitioned workloads never approach this.
+const maxTableauCells = 40 << 20
+
+// solveLP solves min c·x subject to rows and bounds; it returns the status,
+// objective, and structural solution. A zero deadline means no limit.
+func solveLP(c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus, float64, []float64) {
+	m := len(rows)
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	if m*(len(c)+nSlack+m) > maxTableauCells {
+		return lpIterLimit, 0, nil
+	}
+	s := newSimplex(c, lb, ub, rows)
+	s.deadline = deadline
+	st := s.solve()
+	if st != lpOptimal {
+		return st, 0, nil
+	}
+	return lpOptimal, s.objective(), s.values()
+}

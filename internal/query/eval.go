@@ -1,0 +1,375 @@
+// Package query evaluates parsed SQL against in-memory databases and
+// extracts provenance relations (Definition 2.3 of the paper): for a query
+// Q = π_o σ_c(X), the provenance relation P contains every tuple of σ_c(X)
+// together with its impact I — the tuple's statistical contribution to Q's
+// result (1 for non-aggregates and COUNT, the aggregated attribute's value
+// for SUM/AVG/MAX/MIN).
+package query
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/sqlparse"
+)
+
+// evaluator carries cross-expression state: the database for subqueries and
+// a cache so each uncorrelated IN-subquery runs once.
+type evaluator struct {
+	db       *relation.Database
+	subCache map[*sqlparse.InExpr]map[string]bool
+	likeRE   map[string]*regexp.Regexp
+}
+
+func newEvaluator(db *relation.Database) *evaluator {
+	return &evaluator{
+		db:       db,
+		subCache: make(map[*sqlparse.InExpr]map[string]bool),
+		likeRE:   make(map[string]*regexp.Regexp),
+	}
+}
+
+// evalScalar evaluates a scalar expression against one row.
+func (ev *evaluator) evalScalar(e sqlparse.Expr, sch *relation.Schema, row relation.Tuple) (relation.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		switch v := x.Val.(type) {
+		case nil:
+			return relation.Null(), nil
+		case string:
+			return relation.String(v), nil
+		case int64:
+			return relation.Int(v), nil
+		case float64:
+			return relation.Float(v), nil
+		case bool:
+			return relation.Bool(v), nil
+		default:
+			return relation.Null(), fmt.Errorf("query: unsupported literal %T", x.Val)
+		}
+	case *sqlparse.ColumnRef:
+		i, err := sch.Index(x.String())
+		if err != nil {
+			return relation.Null(), err
+		}
+		return row[i], nil
+	case *sqlparse.UnaryExpr:
+		if x.Op == "-" {
+			v, err := ev.evalScalar(x.Expr, sch, row)
+			if err != nil {
+				return relation.Null(), err
+			}
+			if v.IsNull() {
+				return relation.Null(), nil
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return relation.Null(), fmt.Errorf("query: cannot negate %v", v)
+			}
+			if v.Kind() == relation.KindInt {
+				return relation.Int(-v.IntVal()), nil
+			}
+			return relation.Float(-f), nil
+		}
+		// Boolean NOT used in scalar position.
+		b, err := ev.evalPred(x, sch, row)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Bool(b), nil
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+			return ev.evalArith(x, sch, row)
+		default:
+			b, err := ev.evalPred(x, sch, row)
+			if err != nil {
+				return relation.Null(), err
+			}
+			return relation.Bool(b), nil
+		}
+	case *sqlparse.InExpr, *sqlparse.LikeExpr, *sqlparse.IsNullExpr:
+		b, err := ev.evalPred(e, sch, row)
+		if err != nil {
+			return relation.Null(), err
+		}
+		return relation.Bool(b), nil
+	default:
+		return relation.Null(), fmt.Errorf("query: unsupported expression %T", e)
+	}
+}
+
+func (ev *evaluator) evalArith(x *sqlparse.BinaryExpr, sch *relation.Schema, row relation.Tuple) (relation.Value, error) {
+	l, err := ev.evalScalar(x.Left, sch, row)
+	if err != nil {
+		return relation.Null(), err
+	}
+	r, err := ev.evalScalar(x.Right, sch, row)
+	if err != nil {
+		return relation.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return relation.Null(), nil
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return relation.Null(), fmt.Errorf("query: non-numeric operands for %s: %v, %v", x.Op, l, r)
+	}
+	bothInt := l.Kind() == relation.KindInt && r.Kind() == relation.KindInt
+	switch x.Op {
+	case "+":
+		if bothInt {
+			return relation.Int(l.IntVal() + r.IntVal()), nil
+		}
+		return relation.Float(lf + rf), nil
+	case "-":
+		if bothInt {
+			return relation.Int(l.IntVal() - r.IntVal()), nil
+		}
+		return relation.Float(lf - rf), nil
+	case "*":
+		if bothInt {
+			return relation.Int(l.IntVal() * r.IntVal()), nil
+		}
+		return relation.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return relation.Null(), nil
+		}
+		return relation.Float(lf / rf), nil
+	}
+	return relation.Null(), fmt.Errorf("query: unknown arithmetic op %q", x.Op)
+}
+
+// evalPred evaluates a predicate with SQL-ish semantics where NULL
+// comparisons are false.
+func (ev *evaluator) evalPred(e sqlparse.Expr, sch *relation.Schema, row relation.Tuple) (bool, error) {
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case "AND":
+			l, err := ev.evalPred(x.Left, sch, row)
+			if err != nil {
+				return false, err
+			}
+			if !l {
+				return false, nil
+			}
+			return ev.evalPred(x.Right, sch, row)
+		case "OR":
+			l, err := ev.evalPred(x.Left, sch, row)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return ev.evalPred(x.Right, sch, row)
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := ev.evalScalar(x.Left, sch, row)
+			if err != nil {
+				return false, err
+			}
+			r, err := ev.evalScalar(x.Right, sch, row)
+			if err != nil {
+				return false, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return false, nil
+			}
+			c, ok := l.Compare(r)
+			if !ok {
+				// Incomparable values are unequal rather than an error:
+				// heterogeneous columns are routine in dirty data.
+				return x.Op == "<>", nil
+			}
+			switch x.Op {
+			case "=":
+				return c == 0, nil
+			case "<>":
+				return c != 0, nil
+			case "<":
+				return c < 0, nil
+			case "<=":
+				return c <= 0, nil
+			case ">":
+				return c > 0, nil
+			case ">=":
+				return c >= 0, nil
+			}
+		}
+		return false, fmt.Errorf("query: unsupported boolean op %q", x.Op)
+	case *sqlparse.UnaryExpr:
+		if x.Op != "NOT" {
+			return false, fmt.Errorf("query: %q is not a predicate", x.Op)
+		}
+		b, err := ev.evalPred(x.Expr, sch, row)
+		return !b, err
+	case *sqlparse.IsNullExpr:
+		v, err := ev.evalScalar(x.Expr, sch, row)
+		if err != nil {
+			return false, err
+		}
+		if x.Negate {
+			return !v.IsNull(), nil
+		}
+		return v.IsNull(), nil
+	case *sqlparse.LikeExpr:
+		v, err := ev.evalScalar(x.Expr, sch, row)
+		if err != nil {
+			return false, err
+		}
+		if v.IsNull() {
+			return false, nil
+		}
+		re, err := ev.likePattern(x.Pattern)
+		if err != nil {
+			return false, err
+		}
+		m := re.MatchString(v.String())
+		if x.Negate {
+			return !m, nil
+		}
+		return m, nil
+	case *sqlparse.InExpr:
+		return ev.evalIn(x, sch, row)
+	case *sqlparse.Literal:
+		if b, ok := x.Val.(bool); ok {
+			return b, nil
+		}
+		return false, fmt.Errorf("query: literal %v is not a predicate", x.Val)
+	case *sqlparse.ColumnRef:
+		v, err := ev.evalScalar(x, sch, row)
+		if err != nil {
+			return false, err
+		}
+		return v.Kind() == relation.KindBool && v.BoolVal(), nil
+	default:
+		return false, fmt.Errorf("query: unsupported predicate %T", e)
+	}
+}
+
+func (ev *evaluator) evalIn(x *sqlparse.InExpr, sch *relation.Schema, row relation.Tuple) (bool, error) {
+	v, err := ev.evalScalar(x.Expr, sch, row)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	var member bool
+	if x.Sub != nil {
+		set, ok := ev.subCache[x]
+		if !ok {
+			subRel, err := Run(x.Sub, ev.db)
+			if err != nil {
+				return false, fmt.Errorf("query: evaluating IN subquery: %w", err)
+			}
+			if subRel.Schema.Len() != 1 {
+				return false, fmt.Errorf("query: IN subquery must return one column, got %d", subRel.Schema.Len())
+			}
+			set = make(map[string]bool, len(subRel.Rows))
+			for _, r := range subRel.Rows {
+				if !r[0].IsNull() {
+					set[r[0].Key()] = true
+				}
+			}
+			ev.subCache[x] = set
+		}
+		member = set[v.Key()]
+	} else {
+		for _, item := range x.List {
+			iv, err := ev.evalScalar(item, sch, row)
+			if err != nil {
+				return false, err
+			}
+			if v.Equal(iv) {
+				member = true
+				break
+			}
+		}
+	}
+	if x.Negate {
+		return !member, nil
+	}
+	return member, nil
+}
+
+// likePattern compiles a SQL LIKE pattern (% and _ wildcards, case
+// insensitive) into an anchored regexp, caching compilations.
+func (ev *evaluator) likePattern(pat string) (*regexp.Regexp, error) {
+	if re, ok := ev.likeRE[pat]; ok {
+		return re, nil
+	}
+	var b strings.Builder
+	b.WriteString("(?i)^")
+	for _, r := range pat {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("query: bad LIKE pattern %q: %w", pat, err)
+	}
+	ev.likeRE[pat] = re
+	return re, nil
+}
+
+// columnRefs collects every column reference in an expression.
+func columnRefs(e sqlparse.Expr) []*sqlparse.ColumnRef {
+	var out []*sqlparse.ColumnRef
+	var walk func(sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch x := e.(type) {
+		case *sqlparse.ColumnRef:
+			out = append(out, x)
+		case *sqlparse.BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *sqlparse.UnaryExpr:
+			walk(x.Expr)
+		case *sqlparse.IsNullExpr:
+			walk(x.Expr)
+		case *sqlparse.LikeExpr:
+			walk(x.Expr)
+		case *sqlparse.InExpr:
+			walk(x.Expr)
+			// Subquery refs resolve against their own scope; list items are
+			// constants in the supported dialect.
+		}
+	}
+	walk(e)
+	return out
+}
+
+// resolvable reports whether every column reference in e resolves against
+// the schema.
+func resolvable(e sqlparse.Expr, sch *relation.Schema) bool {
+	for _, ref := range columnRefs(e) {
+		if _, err := sch.Index(ref.String()); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// splitConjuncts flattens a WHERE clause into AND-ed conjuncts.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []sqlparse.Expr{e}
+}

@@ -1,0 +1,527 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/sqlparse"
+)
+
+// Run evaluates a SELECT against the database and returns the result
+// relation. Aggregate queries return a single-row relation.
+func Run(sel *sqlparse.Select, db *relation.Database) (*relation.Relation, error) {
+	ev := newEvaluator(db)
+	src, err := buildSource(ev, sel, db)
+	if err != nil {
+		return nil, err
+	}
+	return project(ev, sel, src)
+}
+
+// RunScalar evaluates an aggregate query and returns its scalar answer.
+func RunScalar(sel *sqlparse.Select, db *relation.Database) (relation.Value, error) {
+	if sel.Aggregate() == nil {
+		return relation.Null(), fmt.Errorf("query: %q is not a scalar aggregate query", sel.String())
+	}
+	res, err := Run(sel, db)
+	if err != nil {
+		return relation.Null(), err
+	}
+	if len(res.Rows) != 1 || res.Schema.Len() < 1 {
+		return relation.Null(), fmt.Errorf("query: aggregate query returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0], nil
+}
+
+// buildSource materializes σ_c(X): the joined FROM sources with the WHERE
+// clause fully applied. Single-table conjuncts are pushed below joins and
+// equality conjuncts across sides become hash joins.
+func buildSource(ev *evaluator, sel *sqlparse.Select, db *relation.Database) (*relation.Relation, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("query: empty FROM clause")
+	}
+	pending := splitConjuncts(sel.Where)
+	applied := make([]bool, len(pending))
+
+	cur, err := loadRef(ev, sel.From[0], db)
+	if err != nil {
+		return nil, err
+	}
+	if cur, err = applyResolvable(ev, cur, pending, applied); err != nil {
+		return nil, err
+	}
+
+	for _, ref := range sel.From[1:] {
+		next, err := loadRef(ev, ref, db)
+		if err != nil {
+			return nil, err
+		}
+		// Push single-side conjuncts into the right side before joining.
+		if next, err = applyResolvableSide(ev, next, pending, applied); err != nil {
+			return nil, err
+		}
+		// Gather join conditions: the explicit ON clause plus WHERE
+		// conjuncts that become resolvable once both sides are visible.
+		joined := cur.Schema.Concat(next.Schema)
+		var conds []sqlparse.Expr
+		conds = append(conds, splitConjuncts(ref.On)...)
+		for i, c := range pending {
+			if applied[i] {
+				continue
+			}
+			if !resolvable(c, cur.Schema) && !resolvable(c, next.Schema) && resolvable(c, joined) {
+				conds = append(conds, c)
+				applied[i] = true
+			}
+		}
+		cur, err = join(ev, cur, next, conds)
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = applyResolvable(ev, cur, pending, applied); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range pending {
+		if !applied[i] {
+			return nil, fmt.Errorf("query: WHERE conjunct %s references unknown columns (schema %s)", c.String(), cur.Schema)
+		}
+	}
+	return cur, nil
+}
+
+// applyResolvable filters cur by every pending conjunct that resolves
+// against its schema, marking them applied.
+func applyResolvable(ev *evaluator, cur *relation.Relation, pending []sqlparse.Expr, applied []bool) (*relation.Relation, error) {
+	for i, c := range pending {
+		if applied[i] || !resolvable(c, cur.Schema) {
+			continue
+		}
+		filtered, err := filter(ev, cur, c)
+		if err != nil {
+			return nil, err
+		}
+		cur = filtered
+		applied[i] = true
+	}
+	return cur, nil
+}
+
+// applyResolvableSide is applyResolvable for a to-be-joined right side; it
+// must not consume conjuncts that also mention other tables.
+func applyResolvableSide(ev *evaluator, side *relation.Relation, pending []sqlparse.Expr, applied []bool) (*relation.Relation, error) {
+	return applyResolvable(ev, side, pending, applied)
+}
+
+func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*relation.Relation, error) {
+	var rel *relation.Relation
+	if ref.Sub != nil {
+		sub, err := Run(ref.Sub, db)
+		if err != nil {
+			return nil, err
+		}
+		rel = sub
+	} else {
+		base, err := db.Relation(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		rel = base
+	}
+	out := &relation.Relation{
+		Name:   ref.Alias,
+		Schema: rel.Schema.WithQualifier(ref.Alias),
+		Rows:   rel.Rows, // rows are never mutated by evaluation
+	}
+	return out, nil
+}
+
+func filter(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) (*relation.Relation, error) {
+	out := &relation.Relation{Name: r.Name, Schema: r.Schema}
+	for _, row := range r.Rows {
+		ok, err := ev.evalPred(pred, r.Schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// join combines two relations under the given conditions. Equality
+// conditions between one column on each side drive a hash join; the rest
+// are applied as a post-filter on candidate pairs.
+func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) (*relation.Relation, error) {
+	out := &relation.Relation{
+		Name:   left.Name + "⋈" + right.Name,
+		Schema: left.Schema.Concat(right.Schema),
+	}
+	var hashL, hashR []int
+	var rest []sqlparse.Expr
+	for _, c := range conds {
+		li, ri, ok := equiJoinCols(c, left.Schema, right.Schema)
+		if ok {
+			hashL = append(hashL, li)
+			hashR = append(hashR, ri)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	combined := func(l, r relation.Tuple) relation.Tuple {
+		row := make(relation.Tuple, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		return row
+	}
+	emit := func(l, r relation.Tuple) (bool, error) {
+		row := combined(l, r)
+		for _, c := range rest {
+			ok, err := ev.evalPred(c, out.Schema, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		return true, nil
+	}
+	if len(hashL) > 0 {
+		// Hash join on the equality columns; NULL keys never match.
+		index := make(map[string][]relation.Tuple, len(right.Rows))
+		for _, r := range right.Rows {
+			if hasNull(r, hashR) {
+				continue
+			}
+			k := r.Key(hashR)
+			index[k] = append(index[k], r)
+		}
+		for _, l := range left.Rows {
+			if hasNull(l, hashL) {
+				continue
+			}
+			for _, r := range index[l.Key(hashL)] {
+				if _, err := emit(l, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	// Cross product fallback.
+	for _, l := range left.Rows {
+		for _, r := range right.Rows {
+			if _, err := emit(l, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func hasNull(row relation.Tuple, idx []int) bool {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// equiJoinCols recognizes `a = b` with a on one side and b on the other.
+func equiJoinCols(c sqlparse.Expr, left, right *relation.Schema) (int, int, bool) {
+	b, ok := c.(*sqlparse.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	lref, lok := b.Left.(*sqlparse.ColumnRef)
+	rref, rok := b.Right.(*sqlparse.ColumnRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if li, err := left.Index(lref.String()); err == nil {
+		if ri, err := right.Index(rref.String()); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := left.Index(rref.String()); err == nil {
+		if ri, err := right.Index(lref.String()); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+// project applies the SELECT list (plain projection, DISTINCT, scalar
+// aggregates, or GROUP BY aggregation) to the filtered source.
+func project(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+	hasAgg := false
+	for _, it := range sel.Items {
+		if it.Agg != sqlparse.AggNone {
+			hasAgg = true
+		}
+	}
+	if len(sel.GroupBy) > 0 {
+		return groupProject(ev, sel, src)
+	}
+	if hasAgg {
+		return aggregateProject(ev, sel, src)
+	}
+	return plainProject(ev, sel, src)
+}
+
+func itemName(it *sqlparse.SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*sqlparse.ColumnRef); ok && it.Agg == sqlparse.AggNone {
+		return ref.Name
+	}
+	if it.Agg != sqlparse.AggNone {
+		if it.Star {
+			return strings.ToLower(it.Agg.String()) + "_all"
+		}
+		return strings.ToLower(it.Agg.String())
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
+func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+	names := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
+		names[i] = itemName(it, i)
+	}
+	out := relation.New("", names...)
+	seen := make(map[string]bool)
+	keyIdx := make([]int, len(sel.Items))
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	for _, row := range src.Rows {
+		rec := make(relation.Tuple, len(sel.Items))
+		for i, it := range sel.Items {
+			v, err := ev.evalScalar(it.Expr, src.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		if sel.Distinct {
+			k := rec.Key(keyIdx)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		out.Rows = append(out.Rows, rec)
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    sqlparse.AggFunc
+	count int64
+	sum   float64
+	best  relation.Value
+	isInt bool
+	init  bool
+}
+
+func newAggState(fn sqlparse.AggFunc) *aggState { return &aggState{fn: fn, isInt: true} }
+
+func (a *aggState) add(v relation.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	switch a.fn {
+	case sqlparse.AggCount:
+		return nil
+	case sqlparse.AggSum, sqlparse.AggAvg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("query: %s over non-numeric value %v", a.fn, v)
+		}
+		if v.Kind() != relation.KindInt {
+			a.isInt = false
+		}
+		a.sum += f
+		return nil
+	case sqlparse.AggMax, sqlparse.AggMin:
+		if !a.init {
+			a.best = v
+			a.init = true
+			return nil
+		}
+		c, ok := v.Compare(a.best)
+		if !ok {
+			return fmt.Errorf("query: %s over incomparable values %v and %v", a.fn, v, a.best)
+		}
+		if (a.fn == sqlparse.AggMax && c > 0) || (a.fn == sqlparse.AggMin && c < 0) {
+			a.best = v
+		}
+		return nil
+	}
+	return fmt.Errorf("query: unknown aggregate %v", a.fn)
+}
+
+func (a *aggState) result() relation.Value {
+	switch a.fn {
+	case sqlparse.AggCount:
+		return relation.Int(a.count)
+	case sqlparse.AggSum:
+		if a.count == 0 {
+			return relation.Null()
+		}
+		if a.isInt {
+			return relation.Int(int64(a.sum))
+		}
+		return relation.Float(a.sum)
+	case sqlparse.AggAvg:
+		if a.count == 0 {
+			return relation.Null()
+		}
+		return relation.Float(a.sum / float64(a.count))
+	case sqlparse.AggMax, sqlparse.AggMin:
+		if !a.init {
+			return relation.Null()
+		}
+		return a.best
+	}
+	return relation.Null()
+}
+
+func aggregateProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+	names := make([]string, len(sel.Items))
+	states := make([]*aggState, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Agg == sqlparse.AggNone {
+			return nil, fmt.Errorf("query: mixing aggregates and plain columns requires GROUP BY: %s", it)
+		}
+		names[i] = itemName(it, i)
+		states[i] = newAggState(it.Agg)
+	}
+	for _, row := range src.Rows {
+		for i, it := range sel.Items {
+			var v relation.Value
+			if it.Star {
+				v = relation.Int(1)
+			} else {
+				var err error
+				v, err = ev.evalScalar(it.Expr, src.Schema, row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := states[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := relation.New("", names...)
+	rec := make(relation.Tuple, len(states))
+	for i, st := range states {
+		rec[i] = st.result()
+	}
+	out.Rows = append(out.Rows, rec)
+	return out, nil
+}
+
+func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+	gIdx := make([]int, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		idx, err := src.Schema.Index(g.String())
+		if err != nil {
+			return nil, err
+		}
+		gIdx[i] = idx
+	}
+	// Validate items: plain items must be group-by columns.
+	for _, it := range sel.Items {
+		if it.Agg != sqlparse.AggNone {
+			continue
+		}
+		ref, ok := it.Expr.(*sqlparse.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("query: non-aggregate select item %s must be a grouped column", it)
+		}
+		idx, err := src.Schema.Index(ref.String())
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, gi := range gIdx {
+			if gi == idx {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("query: column %s is not in GROUP BY", ref)
+		}
+	}
+	type group struct {
+		first  relation.Tuple
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range src.Rows {
+		k := row.Key(gIdx)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{first: row, states: make([]*aggState, len(sel.Items))}
+			for i, it := range sel.Items {
+				if it.Agg != sqlparse.AggNone {
+					g.states[i] = newAggState(it.Agg)
+				}
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range sel.Items {
+			if it.Agg == sqlparse.AggNone {
+				continue
+			}
+			var v relation.Value
+			if it.Star {
+				v = relation.Int(1)
+			} else {
+				var err error
+				v, err = ev.evalScalar(it.Expr, src.Schema, row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := g.states[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	names := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
+		names[i] = itemName(it, i)
+	}
+	out := relation.New("", names...)
+	for _, k := range order {
+		g := groups[k]
+		rec := make(relation.Tuple, len(sel.Items))
+		for i, it := range sel.Items {
+			if it.Agg != sqlparse.AggNone {
+				rec[i] = g.states[i].result()
+				continue
+			}
+			v, err := ev.evalScalar(it.Expr, src.Schema, g.first)
+			if err != nil {
+				return nil, err
+			}
+			rec[i] = v
+		}
+		out.Rows = append(out.Rows, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"fmt"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/sqlparse"
+)
+
+// ImpactColumn is the name of the impact attribute appended to provenance
+// relations (the I column of P(A1, ..., Ak, I) in Definition 2.3).
+const ImpactColumn = "I"
+
+// Provenance is the provenance relation of a query together with the
+// query's own answer, ready for canonicalization.
+type Provenance struct {
+	// Query is the originating SELECT.
+	Query *sqlparse.Select
+	// Agg is the query's aggregate function (AggNone for non-aggregates).
+	Agg sqlparse.AggFunc
+	// Rel is P(A1, ..., Ak, I): the tuples of σ_c(X) plus their impact.
+	Rel *relation.Relation
+	// Result is the query's scalar answer for aggregate queries; for
+	// non-aggregate queries it is the row count of the result.
+	Result relation.Value
+}
+
+// Extract computes the provenance relation of Definition 2.3. Grouped
+// queries are rejected: the paper's query class aggregates the full
+// selection. For each tuple t in σ_c(X) the impact is Π_o'(t), where o' = 1
+// for non-aggregates and COUNT, and the aggregated expression otherwise.
+// Tuples whose aggregated expression is NULL contribute nothing to the
+// result and are excluded (SQL aggregate semantics).
+func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
+	if len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("query: provenance extraction does not support GROUP BY queries: %s", sel.String())
+	}
+	ev := newEvaluator(db)
+	src, err := buildSource(ev, sel, db)
+	if err != nil {
+		return nil, err
+	}
+
+	agg := sqlparse.AggNone
+	var aggItem *sqlparse.SelectItem
+	for _, it := range sel.Items {
+		if it.Agg != sqlparse.AggNone {
+			if aggItem != nil {
+				return nil, fmt.Errorf("query: provenance extraction supports a single aggregate, got %s", sel.String())
+			}
+			aggItem = it
+			agg = it.Agg
+		}
+	}
+
+	p := &relation.Relation{
+		Name:   "P",
+		Schema: src.Schema.Concat(relation.NewSchema(ImpactColumn)),
+	}
+	for _, row := range src.Rows {
+		var impact relation.Value
+		switch {
+		case aggItem == nil, aggItem.Star, agg == sqlparse.AggCount && aggItem.Star:
+			impact = relation.Int(1)
+		default:
+			v, err := ev.evalScalar(aggItem.Expr, src.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue // contributes nothing to the aggregate
+			}
+			if agg == sqlparse.AggCount {
+				impact = relation.Int(1)
+			} else {
+				if _, ok := v.AsFloat(); !ok {
+					return nil, fmt.Errorf("query: impact of %s must be numeric, got %v", aggItem, v)
+				}
+				impact = v
+			}
+		}
+		rec := make(relation.Tuple, 0, len(row)+1)
+		rec = append(rec, row...)
+		rec = append(rec, impact)
+		p.Rows = append(p.Rows, rec)
+	}
+
+	prov := &Provenance{Query: sel, Agg: agg, Rel: p}
+	if aggItem != nil {
+		res, err := RunScalar(sel, db)
+		if err != nil {
+			return nil, err
+		}
+		prov.Result = res
+	} else {
+		res, err := Run(sel, db)
+		if err != nil {
+			return nil, err
+		}
+		prov.Result = relation.Int(int64(len(res.Rows)))
+	}
+	return prov, nil
+}
+
+// TotalImpact sums the impact column; for SUM/COUNT queries this equals the
+// query result.
+func (p *Provenance) TotalImpact() float64 {
+	idx := p.Rel.Schema.MustIndex(ImpactColumn)
+	total := 0.0
+	for _, row := range p.Rel.Rows {
+		if f, ok := row[idx].AsFloat(); ok {
+			total += f
+		}
+	}
+	return total
+}

@@ -1,0 +1,357 @@
+package query
+
+import (
+	"testing"
+
+	"explain3d/internal/relation"
+	"explain3d/internal/sqlparse"
+)
+
+// fig1DB builds the four datasets of Figure 1 of the paper.
+func fig1DB() *relation.Database {
+	db := relation.NewDatabase("fig1")
+
+	d1 := relation.New("D1", "Program", "Degree")
+	d1.Append("Accounting", "B.S.")
+	d1.Append("CS", "B.A.")
+	d1.Append("CS", "B.S.")
+	d1.Append("ECE", "B.S.")
+	d1.Append("EE", "B.S.")
+	d1.Append("Management", "B.A.")
+	d1.Append("Design", "B.A.")
+	db.Add(d1)
+
+	d2 := relation.New("D2", "Univ", "Major")
+	d2.Append("A", "Accounting")
+	d2.Append("A", "CSE")
+	d2.Append("A", "ECE")
+	d2.Append("A", "EE")
+	d2.Append("A", "Management")
+	d2.Append("A", "Design")
+	d2.Append("B", "Art")
+	db.Add(d2)
+
+	d3 := relation.New("D3", "College", "Num_bach")
+	d3.Append("Business", int64(2))
+	d3.Append("Engineering", int64(2))
+	d3.Append("Computer Science", int64(1))
+	db.Add(d3)
+
+	d4 := relation.New("D4", "Campus", "Num_major")
+	d4.Append("South campus", int64(1))
+	d4.Append("North campus", int64(2))
+	d4.Append("East campus", int64(1))
+	db.Add(d4)
+
+	return db
+}
+
+func scalar(t *testing.T, db *relation.Database, sql string) relation.Value {
+	t.Helper()
+	v, err := RunScalar(sqlparse.MustParse(sql), db)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return v
+}
+
+func TestFigure1Results(t *testing.T) {
+	db := fig1DB()
+	cases := []struct {
+		sql  string
+		want int64
+	}{
+		{"SELECT COUNT(Program) FROM D1", 7},
+		{"SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'", 6},
+		{"SELECT SUM(Num_bach) FROM D3", 5},
+		{"SELECT SUM(Num_major) FROM D4", 4},
+	}
+	for _, c := range cases {
+		got := scalar(t, db, c.sql)
+		if got.IntVal() != c.want {
+			t.Errorf("%s = %v, want %d", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestProvenanceFigure1(t *testing.T) {
+	db := fig1DB()
+	p, err := Extract(sqlparse.MustParse("SELECT COUNT(Program) FROM D1"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rel.Len() != 7 {
+		t.Fatalf("|P1| = %d, want 7", p.Rel.Len())
+	}
+	if p.TotalImpact() != 7 {
+		t.Fatalf("total impact = %v, want 7", p.TotalImpact())
+	}
+
+	p3, err := Extract(sqlparse.MustParse("SELECT SUM(Num_bach) FROM D3"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Rel.Len() != 3 {
+		t.Fatalf("|P3| = %d, want 3", p3.Rel.Len())
+	}
+	if p3.TotalImpact() != 5 {
+		t.Fatalf("total impact = %v, want 5", p3.TotalImpact())
+	}
+	// Impacts follow Num_bach: 2, 2, 1.
+	iIdx := p3.Rel.Schema.MustIndex(ImpactColumn)
+	want := []int64{2, 2, 1}
+	for i, row := range p3.Rel.Rows {
+		if row[iIdx].IntVal() != want[i] {
+			t.Errorf("impact[%d] = %v, want %d", i, row[iIdx], want[i])
+		}
+	}
+}
+
+func TestProvenanceSelectionOnly(t *testing.T) {
+	db := fig1DB()
+	p, err := Extract(sqlparse.MustParse("SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rel.Len() != 6 {
+		t.Fatalf("|P2| = %d, want 6 (Univ B filtered)", p.Rel.Len())
+	}
+}
+
+func joinDB() *relation.Database {
+	db := relation.NewDatabase("j")
+	school := relation.New("School", "ID", "Univ_name", "City")
+	school.Append(int64(1), "UMass-Amherst", "Amherst")
+	school.Append(int64(2), "OSU", "Columbus")
+	db.Add(school)
+	stats := relation.New("Stats", "ID", "Program", "bach_degr")
+	stats.Append(int64(1), "Computer Science", int64(1))
+	stats.Append(int64(1), "Accounting", int64(2))
+	stats.Append(int64(2), "History", int64(3))
+	db.Add(stats)
+	return db
+}
+
+func TestJoinQuery(t *testing.T) {
+	db := joinDB()
+	v := scalar(t, db, `SELECT SUM(bach_degr) FROM School, Stats
+		WHERE Univ_name = 'UMass-Amherst' AND School.ID = Stats.ID`)
+	if v.IntVal() != 3 {
+		t.Fatalf("join sum = %v, want 3", v)
+	}
+}
+
+func TestJoinOnSyntax(t *testing.T) {
+	db := joinDB()
+	v := scalar(t, db, `SELECT COUNT(Program) FROM School s JOIN Stats st ON s.ID = st.ID WHERE s.Univ_name = 'OSU'`)
+	if v.IntVal() != 1 {
+		t.Fatalf("count = %v, want 1", v)
+	}
+}
+
+func TestJoinProvenanceWideSchema(t *testing.T) {
+	db := joinDB()
+	p, err := Extract(sqlparse.MustParse(
+		`SELECT SUM(bach_degr) FROM School, Stats WHERE Univ_name = 'UMass-Amherst' AND School.ID = Stats.ID`), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rel.Len() != 2 {
+		t.Fatalf("|P| = %d, want 2", p.Rel.Len())
+	}
+	// Wide schema holds both relations' attributes plus I.
+	if _, err := p.Rel.Schema.Index("Stats.Program"); err != nil {
+		t.Fatalf("provenance schema missing Stats.Program: %v", err)
+	}
+	if _, err := p.Rel.Schema.Index("School.City"); err != nil {
+		t.Fatalf("provenance schema missing School.City: %v", err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := fig1DB()
+	if v := scalar(t, db, "SELECT AVG(Num_bach) FROM D3"); v.FloatVal() < 1.66 || v.FloatVal() > 1.67 {
+		t.Errorf("AVG = %v", v)
+	}
+	if v := scalar(t, db, "SELECT MAX(Num_bach) FROM D3"); v.IntVal() != 2 {
+		t.Errorf("MAX = %v", v)
+	}
+	if v := scalar(t, db, "SELECT MIN(Num_bach) FROM D3"); v.IntVal() != 1 {
+		t.Errorf("MIN = %v", v)
+	}
+	if v := scalar(t, db, "SELECT COUNT(*) FROM D3"); v.IntVal() != 3 {
+		t.Errorf("COUNT(*) = %v", v)
+	}
+}
+
+func TestAggregateOverEmptySelection(t *testing.T) {
+	db := fig1DB()
+	if v := scalar(t, db, "SELECT COUNT(Major) FROM D2 WHERE Univ = 'Z'"); v.IntVal() != 0 {
+		t.Errorf("COUNT over empty = %v", v)
+	}
+	if v := scalar(t, db, "SELECT SUM(Num_bach) FROM D3 WHERE College = 'Z'"); !v.IsNull() {
+		t.Errorf("SUM over empty = %v, want NULL", v)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := fig1DB()
+	res, err := Run(sqlparse.MustParse("SELECT Program, COUNT(Degree) AS I FROM D1 GROUP BY Program"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("groups = %d, want 6", len(res.Rows))
+	}
+	byName := map[string]int64{}
+	for _, row := range res.Rows {
+		byName[row[0].Str()] = row[1].IntVal()
+	}
+	if byName["CS"] != 2 || byName["Design"] != 1 {
+		t.Fatalf("counts = %v", byName)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := fig1DB()
+	res, err := Run(sqlparse.MustParse("SELECT DISTINCT Program FROM D1"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("distinct rows = %d, want 6", len(res.Rows))
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db := joinDB()
+	res, err := Run(sqlparse.MustParse(
+		`SELECT Program FROM Stats WHERE ID IN (SELECT ID FROM School WHERE City = 'Amherst')`), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	resNeg, err := Run(sqlparse.MustParse(
+		`SELECT Program FROM Stats WHERE ID NOT IN (SELECT ID FROM School WHERE City = 'Amherst')`), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resNeg.Rows) != 1 || resNeg.Rows[0][0].Str() != "History" {
+		t.Fatalf("NOT IN rows = %v", resNeg)
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	db := fig1DB()
+	v := scalar(t, db, `SELECT COUNT(p) FROM (SELECT Program AS p FROM D1 WHERE Degree = 'B.S.') sub`)
+	if v.IntVal() != 4 {
+		t.Fatalf("count = %v, want 4", v)
+	}
+}
+
+func TestLikeAndIsNull(t *testing.T) {
+	db := relation.NewDatabase("t")
+	r := relation.New("T", "name", "score")
+	r.Append("alpha", int64(1))
+	r.Append("beta", nil)
+	r.Append("gamma", int64(3))
+	db.Add(r)
+	v := scalar(t, db, `SELECT COUNT(name) FROM T WHERE name LIKE '%a'`)
+	if v.IntVal() != 3 {
+		t.Fatalf("LIKE count = %v, want 3", v)
+	}
+	v = scalar(t, db, `SELECT COUNT(name) FROM T WHERE score IS NULL`)
+	if v.IntVal() != 1 {
+		t.Fatalf("IS NULL count = %v, want 1", v)
+	}
+	v = scalar(t, db, `SELECT COUNT(name) FROM T WHERE name NOT LIKE '_eta'`)
+	if v.IntVal() != 2 {
+		t.Fatalf("NOT LIKE count = %v, want 2", v)
+	}
+}
+
+func TestNullExcludedFromAggregates(t *testing.T) {
+	db := relation.NewDatabase("t")
+	r := relation.New("T", "v")
+	r.Append(int64(5))
+	r.Append(nil)
+	r.Append(int64(7))
+	db.Add(r)
+	if v := scalar(t, db, "SELECT SUM(v) FROM T"); v.IntVal() != 12 {
+		t.Fatalf("SUM = %v", v)
+	}
+	if v := scalar(t, db, "SELECT COUNT(v) FROM T"); v.IntVal() != 2 {
+		t.Fatalf("COUNT = %v", v)
+	}
+	p, err := Extract(sqlparse.MustParse("SELECT SUM(v) FROM T"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rel.Len() != 2 {
+		t.Fatalf("NULL contributes no provenance: |P| = %d, want 2", p.Rel.Len())
+	}
+}
+
+func TestProvenanceNonAggregate(t *testing.T) {
+	db := fig1DB()
+	p, err := Extract(sqlparse.MustParse("SELECT Major FROM D2 WHERE Univ = 'A'"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Agg != sqlparse.AggNone {
+		t.Fatalf("agg = %v", p.Agg)
+	}
+	if p.Rel.Len() != 6 || p.TotalImpact() != 6 {
+		t.Fatalf("|P| = %d, impact = %v", p.Rel.Len(), p.TotalImpact())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := fig1DB()
+	bad := []string{
+		"SELECT COUNT(nope) FROM D1",
+		"SELECT COUNT(Program) FROM Missing",
+		"SELECT Program, COUNT(Degree) FROM D1",           // agg + plain without GROUP BY
+		"SELECT SUM(Program) FROM D1",                     // non-numeric sum
+		"SELECT Num_bach FROM D3 WHERE College = 5 + 'x'", // bad arithmetic
+	}
+	for _, sql := range bad {
+		if _, err := Run(sqlparse.MustParse(sql), db); err == nil {
+			t.Errorf("Run(%q) should fail", sql)
+		}
+	}
+	if _, err := Extract(sqlparse.MustParse("SELECT Program, COUNT(Degree) AS c FROM D1 GROUP BY Program"), db); err == nil {
+		t.Error("Extract of grouped query should fail")
+	}
+	if _, err := RunScalar(sqlparse.MustParse("SELECT Program FROM D1"), db); err == nil {
+		t.Error("RunScalar of non-aggregate should fail")
+	}
+}
+
+func TestArithmeticInWhere(t *testing.T) {
+	db := fig1DB()
+	v := scalar(t, db, "SELECT COUNT(College) FROM D3 WHERE Num_bach * 2 >= 4")
+	if v.IntVal() != 2 {
+		t.Fatalf("count = %v, want 2", v)
+	}
+}
+
+func TestCrossJoinFallback(t *testing.T) {
+	db := fig1DB()
+	// No equi-join condition: pure cross product filtered by inequality.
+	v := scalar(t, db, "SELECT COUNT(D3.College) FROM D3, D4 WHERE Num_bach > Num_major")
+	// pairs where bach > major: (2,1)x2 colleges x2 campuses = 2*2=4, (1,?) none → 4
+	if v.IntVal() != 4 {
+		t.Fatalf("count = %v, want 4", v)
+	}
+}
+
+func TestOrPredicate(t *testing.T) {
+	db := fig1DB()
+	v := scalar(t, db, "SELECT COUNT(Program) FROM D1 WHERE Program = 'CS' OR Degree = 'B.A.'")
+	if v.IntVal() != 4 {
+		t.Fatalf("count = %v, want 4 (CSx2, Management, Design)", v)
+	}
+}

@@ -1,0 +1,93 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header; values
+// are type-inferred with ParseValue. The relation name qualifies bare header
+// names.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header for %s: %w", name, err)
+	}
+	rel := New(name, header...)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row %d for %s: %w", line, name, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: CSV row %d for %s has %d fields, want %d", line, name, len(rec), len(header))
+		}
+		row := make(Tuple, len(rec))
+		for i, cell := range rec {
+			row[i] = ParseValue(cell)
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	return rel, nil
+}
+
+// ReadCSVFile loads a relation from a CSV file; the relation is named after
+// the file's base name without extension.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, f)
+}
+
+// WriteCSV serializes the relation with a header row of qualified-free
+// column names.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema.Len())
+	for i, c := range r.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, r.Schema.Len())
+	for _, row := range r.Rows {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to path, creating parent directories.
+func (r *Relation) WriteCSVFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteCSV(f)
+}

@@ -1,0 +1,192 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row; cells align positionally with the relation's schema.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key concatenates the canonical keys of the given cell indexes; used for
+// hashing join and group-by keys.
+func (t Tuple) Key(idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(t[i].Key())
+	}
+	return b.String()
+}
+
+// Relation is an in-memory table: a schema plus rows.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Rows   []Tuple
+}
+
+// New creates an empty relation with the given name and column refs.
+func New(name string, cols ...string) *Relation {
+	sch := NewSchema(cols...)
+	// Bare columns of a named relation are qualified by the relation name so
+	// joins stay unambiguous.
+	if name != "" {
+		for i := range sch.Columns {
+			if sch.Columns[i].Qualifier == "" {
+				sch.Columns[i].Qualifier = name
+			}
+		}
+	}
+	return &Relation{Name: name, Schema: sch}
+}
+
+// Append adds a row built from Go values (string, int, int64, float64, bool,
+// Value, or nil for NULL). It panics on arity mismatch — rows are built by
+// generators and loaders that control the schema.
+func (r *Relation) Append(vals ...any) *Relation {
+	if len(vals) != r.Schema.Len() {
+		panic(fmt.Sprintf("relation %s: Append arity %d != schema arity %d", r.Name, len(vals), r.Schema.Len()))
+	}
+	row := make(Tuple, len(vals))
+	for i, v := range vals {
+		row[i] = ToValue(v)
+	}
+	r.Rows = append(r.Rows, row)
+	return r
+}
+
+// ToValue converts a native Go value to a Value.
+func ToValue(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null()
+	case Value:
+		return x
+	case string:
+		return String(x)
+	case int:
+		return Int(int64(x))
+	case int64:
+		return Int(x)
+	case float64:
+		return Float(x)
+	case bool:
+		return Bool(x)
+	default:
+		return String(fmt.Sprint(x))
+	}
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// ColumnNames returns the bare (unqualified) column names.
+func (r *Relation) ColumnNames() []string {
+	out := make([]string, r.Schema.Len())
+	for i, c := range r.Schema.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name, Schema: &Schema{Columns: append([]Column(nil), r.Schema.Columns...)}}
+	out.Rows = make([]Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = row.Clone()
+	}
+	return out
+}
+
+// Column returns the values of one column by reference name.
+func (r *Relation) Column(ref string) ([]Value, error) {
+	i, err := r.Schema.Index(ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(r.Rows))
+	for j, row := range r.Rows {
+		out[j] = row[i]
+	}
+	return out, nil
+}
+
+// String renders a small ASCII table (up to 25 rows) for debugging and
+// example output.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s [%d rows]\n", r.Name, r.Schema, len(r.Rows))
+	limit := len(r.Rows)
+	const maxShow = 25
+	if limit > maxShow {
+		limit = maxShow
+	}
+	for i := 0; i < limit; i++ {
+		cells := make([]string, len(r.Rows[i]))
+		for j, v := range r.Rows[i] {
+			cells[j] = v.String()
+		}
+		fmt.Fprintf(&b, "  %s\n", strings.Join(cells, " | "))
+	}
+	if len(r.Rows) > limit {
+		fmt.Fprintf(&b, "  ... (%d more)\n", len(r.Rows)-limit)
+	}
+	return b.String()
+}
+
+// Database is a named collection of relations.
+type Database struct {
+	Name      string
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation; it replaces any prior relation of the same name.
+func (d *Database) Add(r *Relation) *Database {
+	key := strings.ToLower(r.Name)
+	if _, exists := d.relations[key]; !exists {
+		d.order = append(d.order, key)
+	}
+	d.relations[key] = r
+	return d
+}
+
+// Relation looks a relation up by case-insensitive name.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, ok := d.relations[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relation: database %q has no relation %q", d.Name, name)
+	}
+	return r, nil
+}
+
+// Relations returns all relations in registration order.
+func (d *Database) Relations() []*Relation {
+	out := make([]*Relation, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, d.relations[k])
+	}
+	return out
+}
+
+// TotalRows sums row counts over all relations (the paper's N statistic).
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, r := range d.relations {
+		n += len(r.Rows)
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Relation {
+	r := New("Major", "Major", "Degree", "School")
+	r.Append("Accounting", "B.S.", "Business")
+	r.Append("CS", "B.A.", "CompSci")
+	r.Append("CS", "B.S.", "CompSci")
+	return r
+}
+
+func TestSchemaIndexQualified(t *testing.T) {
+	r := sample()
+	i, err := r.Schema.Index("Major.Degree")
+	if err != nil || i != 1 {
+		t.Fatalf("Index(Major.Degree) = (%d,%v), want (1,nil)", i, err)
+	}
+	i, err = r.Schema.Index("degree")
+	if err != nil || i != 1 {
+		t.Fatalf("Index(degree) = (%d,%v), want (1,nil)", i, err)
+	}
+	if _, err := r.Schema.Index("nope"); err == nil {
+		t.Fatal("Index(nope) should fail")
+	}
+}
+
+func TestSchemaAmbiguity(t *testing.T) {
+	s := NewSchema("a.x", "b.x")
+	if _, err := s.Index("x"); err == nil {
+		t.Fatal("bare x over a.x and b.x should be ambiguous")
+	}
+	if i, err := s.Index("b.x"); err != nil || i != 1 {
+		t.Fatalf("Index(b.x) = (%d,%v)", i, err)
+	}
+}
+
+func TestSchemaProjectAndConcat(t *testing.T) {
+	s := NewSchema("t.a", "t.b", "t.c")
+	p, idx, err := s.Project([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Names()[0] != "t.c" || p.Names()[1] != "t.a" || idx[0] != 2 || idx[1] != 0 {
+		t.Fatalf("Project = %v idx %v", p.Names(), idx)
+	}
+	u := NewSchema("u.z")
+	cat := s.Concat(u)
+	if cat.Len() != 4 || cat.Names()[3] != "u.z" {
+		t.Fatalf("Concat = %v", cat.Names())
+	}
+}
+
+func TestRelationAppendAndColumn(t *testing.T) {
+	r := sample()
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	col, err := r.Column("Major")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[1].Str() != "CS" {
+		t.Fatalf("Column(Major)[1] = %v", col[1])
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := sample()
+	c := r.Clone()
+	c.Rows[0][0] = String("mutated")
+	if r.Rows[0][0].Str() != "Accounting" {
+		t.Fatal("Clone must deep-copy rows")
+	}
+}
+
+func TestDatabaseLookup(t *testing.T) {
+	db := NewDatabase("D1")
+	db.Add(sample())
+	r, err := db.Relation("major")
+	if err != nil || r.Name != "Major" {
+		t.Fatalf("Relation(major) = (%v,%v)", r, err)
+	}
+	if _, err := db.Relation("missing"); err == nil {
+		t.Fatal("missing relation should error")
+	}
+	if db.TotalRows() != 3 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+	if len(db.Relations()) != 1 {
+		t.Fatalf("Relations len = %d", len(db.Relations()))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("Major", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("round trip rows = %d, want %d", got.Len(), r.Len())
+	}
+	for i := range r.Rows {
+		for j := range r.Rows[i] {
+			if !got.Rows[i][j].Identical(r.Rows[i][j]) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got.Rows[i][j], r.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestCSVTypeInference(t *testing.T) {
+	in := "id,score,name\n1,2.5,alpha\n2,,beta\n"
+	r, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Kind() != KindInt || r.Rows[0][1].Kind() != KindFloat || r.Rows[0][2].Kind() != KindString {
+		t.Fatalf("kinds = %v %v %v", r.Rows[0][0].Kind(), r.Rows[0][1].Kind(), r.Rows[0][2].Kind())
+	}
+	if !r.Rows[1][1].IsNull() {
+		t.Fatal("empty cell should be NULL")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV should fail on header")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("short row should fail")
+	}
+}
+
+func TestTupleKey(t *testing.T) {
+	a := Tuple{String("x"), Int(1)}
+	b := Tuple{String("x"), Int(1)}
+	c := Tuple{String("x"), Int(2)}
+	if a.Key([]int{0, 1}) != b.Key([]int{0, 1}) {
+		t.Fatal("equal tuples should share keys")
+	}
+	if a.Key([]int{0, 1}) == c.Key([]int{0, 1}) {
+		t.Fatal("distinct tuples should have distinct keys")
+	}
+	if a.Key([]int{0}) != c.Key([]int{0}) {
+		t.Fatal("keys on shared prefix should match")
+	}
+}
+
+func TestRelationStringTruncates(t *testing.T) {
+	r := New("big", "x")
+	for i := 0; i < 40; i++ {
+		r.Append(int64(i))
+	}
+	s := r.String()
+	if !strings.Contains(s, "more") {
+		t.Fatalf("String should truncate long relations: %s", s)
+	}
+}

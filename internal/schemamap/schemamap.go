@@ -1,0 +1,185 @@
+// Package schemamap models attribute matches (Definition 2.1 of the
+// paper): semantic correspondences (Ai φ Aj) between attribute sets of two
+// queries, with φ ∈ {≡, ⊑, ⊒}. Matches are input to explain3d — the paper
+// derives them with off-the-shelf schema matchers — but a text syntax is
+// provided so CLI users can supply them in files.
+package schemamap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rel is the semantic relation φ between two attribute sets.
+type Rel int
+
+const (
+	// Equivalent (≡): one-to-one correspondence between instantiations.
+	Equivalent Rel = iota
+	// LessGeneral (⊑): many instantiations of the left set map to one of
+	// the right (e.g. program ⊑ college).
+	LessGeneral
+	// MoreGeneral (⊒): one left instantiation covers many right ones.
+	MoreGeneral
+)
+
+// String renders φ.
+func (r Rel) String() string {
+	switch r {
+	case Equivalent:
+		return "≡"
+	case LessGeneral:
+		return "⊑"
+	case MoreGeneral:
+		return "⊒"
+	default:
+		return "?"
+	}
+}
+
+// Flip mirrors the relation (Ai φ Aj ⇔ Aj flip(φ) Ai).
+func (r Rel) Flip() Rel {
+	switch r {
+	case LessGeneral:
+		return MoreGeneral
+	case MoreGeneral:
+		return LessGeneral
+	default:
+		return Equivalent
+	}
+}
+
+// AttributeMatch is one (Ai φ Aj): Left attributes from the first query's
+// provenance, Right from the second's.
+type AttributeMatch struct {
+	Left  []string
+	Right []string
+	Rel   Rel
+}
+
+// String renders the match in parseable syntax.
+func (m AttributeMatch) String() string {
+	op := "=="
+	switch m.Rel {
+	case LessGeneral:
+		op = "<="
+	case MoreGeneral:
+		op = ">="
+	}
+	return fmt.Sprintf("%s %s %s", strings.Join(m.Left, ","), op, strings.Join(m.Right, ","))
+}
+
+// Matching is Mattr(Q1, Q2): the attribute matches between two queries.
+type Matching []AttributeMatch
+
+// Comparable reports whether the queries are comparable (Definition 2.2):
+// at least one attribute match exists.
+func (m Matching) Comparable() bool { return len(m) > 0 }
+
+// LeftAttrs returns all left-side attributes in order, without duplicates.
+func (m Matching) LeftAttrs() []string { return m.side(true) }
+
+// RightAttrs returns all right-side attributes in order, without
+// duplicates.
+func (m Matching) RightAttrs() []string { return m.side(false) }
+
+func (m Matching) side(left bool) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, am := range m {
+		attrs := am.Right
+		if left {
+			attrs = am.Left
+		}
+		for _, a := range attrs {
+			key := strings.ToLower(a)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Cardinality summarizes the mapping cardinality the matching imposes on
+// canonical tuples (Definition 3.2): whether the left side's tuples are
+// restricted to degree ≤ 1, and likewise the right side. A many-to-many
+// mapping is never allowed, so at least one side is always restricted.
+func (m Matching) Cardinality() (leftAtMostOne, rightAtMostOne bool) {
+	// ≡ restricts both sides; ⊑ restricts the left (many programs to one
+	// college: each program maps to at most one college); ⊒ the right.
+	leftAtMostOne, rightAtMostOne = true, true
+	for _, am := range m {
+		switch am.Rel {
+		case LessGeneral:
+			rightAtMostOne = false
+		case MoreGeneral:
+			leftAtMostOne = false
+		}
+	}
+	if !leftAtMostOne && !rightAtMostOne {
+		// Mixed ⊑ and ⊒ matches: fall back to the strictest interpretation
+		// to preserve the no-many-to-many invariant.
+		leftAtMostOne, rightAtMostOne = true, true
+	}
+	return leftAtMostOne, rightAtMostOne
+}
+
+// Parse reads one attribute match from text. Syntax:
+//
+//	left1,left2 OP right1,right2
+//
+// with OP one of == (≡), <= (⊑), >= (⊒), or the unicode forms.
+func Parse(s string) (AttributeMatch, error) {
+	ops := []struct {
+		tok string
+		rel Rel
+	}{
+		{"==", Equivalent}, {"≡", Equivalent},
+		{"<=", LessGeneral}, {"⊑", LessGeneral},
+		{">=", MoreGeneral}, {"⊒", MoreGeneral},
+	}
+	for _, op := range ops {
+		i := strings.Index(s, op.tok)
+		if i < 0 {
+			continue
+		}
+		left := splitAttrs(s[:i])
+		right := splitAttrs(s[i+len(op.tok):])
+		if len(left) == 0 || len(right) == 0 {
+			return AttributeMatch{}, fmt.Errorf("schemamap: match %q needs attributes on both sides", s)
+		}
+		return AttributeMatch{Left: left, Right: right, Rel: op.rel}, nil
+	}
+	return AttributeMatch{}, fmt.Errorf("schemamap: no relation operator (==, <=, >=) in %q", s)
+}
+
+// ParseAll reads a matching from newline-separated text; blank lines and
+// lines starting with # are skipped.
+func ParseAll(s string) (Matching, error) {
+	var out Matching
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func splitAttrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

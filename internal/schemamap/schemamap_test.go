@@ -1,0 +1,101 @@
+package schemamap
+
+import "testing"
+
+func TestParseOperators(t *testing.T) {
+	cases := []struct {
+		in   string
+		rel  Rel
+		l, r int
+	}{
+		{"Major.Major <= Stats.Program", LessGeneral, 1, 1},
+		{"program == major", Equivalent, 1, 1},
+		{"college >= program", MoreGeneral, 1, 1},
+		{"a,b ≡ c", Equivalent, 2, 1},
+		{"zip ⊑ county", LessGeneral, 1, 1},
+		{"county ⊒ zip,city", MoreGeneral, 1, 2},
+	}
+	for _, c := range cases {
+		m, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if m.Rel != c.rel || len(m.Left) != c.l || len(m.Right) != c.r {
+			t.Errorf("Parse(%q) = %+v", c.in, m)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "a b", "== b", "a =="} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	src := `
+# attribute matches for the academic pair
+Major.Major <= Stats.Program
+
+`
+	m, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || !m.Comparable() {
+		t.Fatalf("matching = %+v", m)
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	eq := Matching{{Left: []string{"a"}, Right: []string{"b"}, Rel: Equivalent}}
+	l, r := eq.Cardinality()
+	if !l || !r {
+		t.Fatalf("≡ cardinality = %v %v, want both restricted", l, r)
+	}
+	less := Matching{{Left: []string{"program"}, Right: []string{"college"}, Rel: LessGeneral}}
+	l, r = less.Cardinality()
+	if !l || r {
+		t.Fatalf("⊑ cardinality = %v %v, want left-only restricted", l, r)
+	}
+	more := Matching{{Left: []string{"college"}, Right: []string{"program"}, Rel: MoreGeneral}}
+	l, r = more.Cardinality()
+	if l || !r {
+		t.Fatalf("⊒ cardinality = %v %v, want right-only restricted", l, r)
+	}
+}
+
+func TestFlip(t *testing.T) {
+	if LessGeneral.Flip() != MoreGeneral || MoreGeneral.Flip() != LessGeneral || Equivalent.Flip() != Equivalent {
+		t.Fatal("Flip is not an involution on {≡,⊑,⊒}")
+	}
+}
+
+func TestSides(t *testing.T) {
+	m := Matching{
+		{Left: []string{"a", "b"}, Right: []string{"x"}, Rel: Equivalent},
+		{Left: []string{"a"}, Right: []string{"y"}, Rel: Equivalent},
+	}
+	if got := m.LeftAttrs(); len(got) != 2 {
+		t.Fatalf("left attrs = %v", got)
+	}
+	if got := m.RightAttrs(); len(got) != 2 {
+		t.Fatalf("right attrs = %v", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	m, err := Parse("Major.Major <= Stats.Program")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rel != m.Rel || m2.Left[0] != m.Left[0] || m2.Right[0] != m.Right[0] {
+		t.Fatalf("round trip: %+v vs %+v", m, m2)
+	}
+}

@@ -1,0 +1,295 @@
+// Package sqlparse implements a lexer and recursive-descent parser for the
+// SQL dialect used by the paper: select-project-join(-aggregate) queries of
+// the form Q = π_o σ_c(X), where X may be a relation, a join, or a
+// subquery, the condition c may use comparisons, boolean connectives,
+// LIKE, IS NULL and (NOT) IN subqueries, and the projection o is either a
+// list of attributes or one of the five SQL aggregates (COUNT, SUM, AVG,
+// MAX, MIN).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+const (
+	// AggNone marks a non-aggregate select item.
+	AggNone AggFunc = iota
+	// AggCount is COUNT.
+	AggCount
+	// AggSum is SUM.
+	AggSum
+	// AggAvg is AVG.
+	AggAvg
+	// AggMax is MAX.
+	AggMax
+	// AggMin is MIN.
+	AggMin
+)
+
+// String returns the SQL keyword for the aggregate.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	default:
+		return ""
+	}
+}
+
+// Expr is a scalar or boolean expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef references a column, optionally qualified ("t.a").
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (*ColumnRef) exprNode() {}
+
+// String renders the reference.
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant: string, int64, float64, bool, or nil (NULL).
+type Literal struct {
+	Val any
+}
+
+func (*Literal) exprNode() {}
+
+// String renders the literal in SQL syntax.
+func (l *Literal) String() string {
+	switch v := l.Val.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// BinaryExpr is a binary operation; Op is one of
+// = <> < <= > >= AND OR + - * /.
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// String renders the expression with explicit parens.
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// String renders the expression.
+func (u *UnaryExpr) String() string { return u.Op + " " + u.Expr.String() }
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (*IsNullExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *IsNullExpr) String() string {
+	if e.Negate {
+		return e.Expr.String() + " IS NOT NULL"
+	}
+	return e.Expr.String() + " IS NULL"
+}
+
+// LikeExpr is `expr [NOT] LIKE 'pattern'` with % and _ wildcards.
+type LikeExpr struct {
+	Expr    Expr
+	Pattern string
+	Negate  bool
+}
+
+func (*LikeExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *LikeExpr) String() string {
+	op := "LIKE"
+	if e.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s '%s'", e.Expr.String(), op, e.Pattern)
+}
+
+// InExpr is `expr [NOT] IN (subquery)` or `expr [NOT] IN (v1, v2, ...)`.
+type InExpr struct {
+	Expr   Expr
+	Sub    *Select // nil when List is used
+	List   []Expr
+	Negate bool
+}
+
+func (*InExpr) exprNode() {}
+
+// String renders the predicate.
+func (e *InExpr) String() string {
+	op := "IN"
+	if e.Negate {
+		op = "NOT IN"
+	}
+	if e.Sub != nil {
+		return fmt.Sprintf("%s %s (%s)", e.Expr.String(), op, e.Sub.String())
+	}
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	return fmt.Sprintf("%s %s (%s)", e.Expr.String(), op, strings.Join(parts, ", "))
+}
+
+// SelectItem is one projection item: either a plain expression or an
+// aggregate over an expression (COUNT(*) has Star set).
+type SelectItem struct {
+	Agg   AggFunc
+	Star  bool // COUNT(*)
+	Expr  Expr // nil for COUNT(*)
+	Alias string
+}
+
+// String renders the item.
+func (s *SelectItem) String() string {
+	var core string
+	switch {
+	case s.Star:
+		core = s.Agg.String() + "(*)"
+	case s.Agg != AggNone:
+		core = s.Agg.String() + "(" + s.Expr.String() + ")"
+	default:
+		core = s.Expr.String()
+	}
+	if s.Alias != "" {
+		core += " AS " + s.Alias
+	}
+	return core
+}
+
+// TableRef is one FROM entry: a base table or a parenthesized subquery,
+// optionally aliased, optionally joined with an ON condition (for explicit
+// JOIN syntax). Comma-joins appear as consecutive refs with nil On.
+type TableRef struct {
+	Table string  // base table name, or "" when Sub != nil
+	Sub   *Select // subquery in FROM
+	Alias string
+	On    Expr // non-nil when this ref was introduced by JOIN ... ON
+}
+
+// String renders the reference.
+func (t *TableRef) String() string {
+	var core string
+	if t.Sub != nil {
+		core = "(" + t.Sub.String() + ")"
+	} else {
+		core = t.Table
+	}
+	if t.Alias != "" && !strings.EqualFold(t.Alias, t.Table) {
+		core += " " + t.Alias
+	}
+	return core
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []*SelectItem
+	From     []*TableRef
+	Where    Expr
+	GroupBy  []*ColumnRef
+}
+
+// String reconstructs SQL text for the query.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			if f.On != nil {
+				b.WriteString(" JOIN ")
+			} else {
+				b.WriteString(", ")
+			}
+		}
+		b.WriteString(f.String())
+		if f.On != nil {
+			b.WriteString(" ON " + f.On.String())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	return b.String()
+}
+
+// Aggregate returns the single aggregate select item if the query is an
+// aggregate query (exactly one aggregate item and no GROUP BY), or nil.
+func (s *Select) Aggregate() *SelectItem {
+	if len(s.GroupBy) > 0 {
+		return nil
+	}
+	var agg *SelectItem
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			if agg != nil {
+				return nil
+			}
+			agg = it
+		}
+	}
+	return agg
+}

@@ -1,0 +1,207 @@
+// Package summarize implements Stage 3 of explain3d: compressing a large
+// set of per-tuple explanations into a few human-readable patterns. It
+// follows the Data X-Ray approach the paper delegates to (hierarchical
+// wildcard patterns over attributes selected by a cost-based greedy
+// cover): a pattern fixes some attributes to values and wildcards the
+// rest; the summarizer picks a small pattern set covering every target
+// tuple while penalizing false positives.
+package summarize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"explain3d/internal/relation"
+)
+
+// Pattern is a conjunctive template over a relation's attributes: a fixed
+// value per attribute or a wildcard (nil entry).
+type Pattern struct {
+	Attrs  []string
+	Values []*relation.Value // nil = wildcard
+	// Covered and FalsePos are filled by Summarize.
+	Covered  int
+	FalsePos int
+}
+
+// String renders the pattern like "Degree='Associate', *".
+func (p *Pattern) String() string {
+	var parts []string
+	for i, v := range p.Values {
+		if v == nil {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", p.Attrs[i], v.String()))
+	}
+	if len(parts) == 0 {
+		return "*"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Matches reports whether a tuple instantiates the pattern.
+func (p *Pattern) Matches(row relation.Tuple) bool {
+	for i, v := range p.Values {
+		if v == nil {
+			continue
+		}
+		if !row[i].Identical(*v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Options tunes the summarizer's cost model.
+type Options struct {
+	// PatternCost is the fixed price of adding a pattern to the summary
+	// (Data X-Ray's conciseness term). Default 1.
+	PatternCost float64
+	// FalsePositiveCost prices covering a non-target tuple (specificity
+	// term). Default 1.
+	FalsePositiveCost float64
+	// MaxFixedAttrs bounds the number of non-wildcard attributes per
+	// candidate pattern (lattice depth). Default 2.
+	MaxFixedAttrs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PatternCost == 0 {
+		o.PatternCost = 1
+	}
+	if o.FalsePositiveCost == 0 {
+		o.FalsePositiveCost = 1
+	}
+	if o.MaxFixedAttrs == 0 {
+		o.MaxFixedAttrs = 2
+	}
+	return o
+}
+
+// Summarize derives a pattern cover for the target tuples of rel:
+// targets[i] marks row i as explained. The result is a greedy weighted
+// set cover over candidate patterns mined from the targets themselves;
+// per-tuple singleton patterns guarantee the cover is total.
+func Summarize(rel *relation.Relation, targets []bool, opt Options) []*Pattern {
+	opt = opt.withDefaults()
+	if rel.Len() == 0 || len(targets) != rel.Len() {
+		return nil
+	}
+	attrs := rel.Schema.Names()
+	nAttr := len(attrs)
+
+	// Candidate generation: every combination of ≤ MaxFixedAttrs
+	// attribute values observed in some target tuple.
+	type candKey string
+	cands := make(map[candKey]*Pattern)
+	var addCand func(fixed []int, row relation.Tuple)
+	addCand = func(fixed []int, row relation.Tuple) {
+		vals := make([]*relation.Value, nAttr)
+		var keyParts []string
+		for _, f := range fixed {
+			v := row[f]
+			vals[f] = &v
+			keyParts = append(keyParts, fmt.Sprintf("%d=%s", f, v.Key()))
+		}
+		k := candKey(strings.Join(keyParts, "|"))
+		if _, ok := cands[k]; !ok {
+			cands[k] = &Pattern{Attrs: attrs, Values: vals}
+		}
+	}
+	for i, row := range rel.Rows {
+		if !targets[i] {
+			continue
+		}
+		// Depth 1 and 2 combinations (and deeper if configured).
+		var combos func(start int, chosen []int)
+		combos = func(start int, chosen []int) {
+			if len(chosen) > 0 {
+				addCand(chosen, row)
+			}
+			if len(chosen) >= opt.MaxFixedAttrs {
+				return
+			}
+			for a := start; a < nAttr; a++ {
+				next := make([]int, len(chosen), len(chosen)+1)
+				copy(next, chosen)
+				combos(a+1, append(next, a))
+			}
+		}
+		combos(0, nil)
+	}
+
+	// Evaluate candidates.
+	type scored struct {
+		p        *Pattern
+		covers   []int
+		falsePos int
+	}
+	var pool []*scored
+	for _, p := range cands {
+		s := &scored{p: p}
+		for i, row := range rel.Rows {
+			if !p.Matches(row) {
+				continue
+			}
+			if targets[i] {
+				s.covers = append(s.covers, i)
+			} else {
+				s.falsePos++
+			}
+		}
+		if len(s.covers) > 0 {
+			pool = append(pool, s)
+		}
+	}
+	// Deterministic order for ties.
+	sort.Slice(pool, func(a, b int) bool { return pool[a].p.String() < pool[b].p.String() })
+
+	// Greedy weighted set cover: repeatedly take the pattern with the best
+	// (new coverage) / (pattern cost + false-positive cost) ratio.
+	uncovered := make(map[int]bool)
+	for i, t := range targets {
+		if t {
+			uncovered[i] = true
+		}
+	}
+	var out []*Pattern
+	for len(uncovered) > 0 {
+		var best *scored
+		bestRatio := 0.0
+		for _, s := range pool {
+			newCover := 0
+			for _, i := range s.covers {
+				if uncovered[i] {
+					newCover++
+				}
+			}
+			if newCover == 0 {
+				continue
+			}
+			cost := opt.PatternCost + opt.FalsePositiveCost*float64(s.falsePos)
+			ratio := float64(newCover) / cost
+			if ratio > bestRatio {
+				bestRatio = ratio
+				best = s
+			}
+		}
+		if best == nil {
+			break // no candidate covers the rest (cannot happen with depth ≥ 1 unless duplicate rows conflict)
+		}
+		got := 0
+		for _, i := range best.covers {
+			if uncovered[i] {
+				delete(uncovered, i)
+				got++
+			}
+		}
+		best.p.Covered = got
+		best.p.FalsePos = best.falsePos
+		out = append(out, best.p)
+		if got == 0 {
+			break
+		}
+	}
+	return out
+}
