@@ -15,6 +15,7 @@ package explain3d
 // through b.ReportMetric as explF1/evidF1 custom metrics.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -133,6 +134,63 @@ func BenchmarkFig8cVocabulary(b *testing.B) {
 		Vs:         []int{100, 1000, 10000},
 		BatchSizes: []int{0, 100},
 		Budget:     time.Minute,
+	})
+}
+
+// reportSeqVsPar times one workload with Workers = 1 and with Workers =
+// GOMAXPROCS and reports both wall times (and their ratio) as custom
+// metrics. The outputs are identical by construction — the worker pool
+// merges fragments in partition order — so only the clock moves.
+func reportSeqVsPar(b *testing.B, run func(params core.Params) error) {
+	var seqSec, parSec float64
+	for i := 0; i < b.N; i++ {
+		seq := core.DefaultParams()
+		seq.Workers = 1
+		start := time.Now()
+		if err := run(seq); err != nil {
+			b.Fatal(err)
+		}
+		seqSec += time.Since(start).Seconds()
+
+		par := core.DefaultParams()
+		par.Workers = runtime.GOMAXPROCS(0)
+		start = time.Now()
+		if err := run(par); err != nil {
+			b.Fatal(err)
+		}
+		parSec += time.Since(start).Seconds()
+	}
+	// Report per-iteration averages once, after the loop: ReportMetric
+	// overwrites, so reporting inside it would keep only the last (and
+	// noisiest) iteration.
+	n := float64(b.N)
+	b.ReportMetric(seqSec/n, "seqSec")
+	b.ReportMetric(parSec/n, "parSec")
+	b.ReportMetric(seqSec/parSec, "speedup")
+}
+
+// BenchmarkFig7cWorkers reruns the Fig 7c workload sequentially and with
+// the worker pool; on multi-core hardware parSec should beat seqSec.
+func BenchmarkFig7cWorkers(b *testing.B) {
+	reportSeqVsPar(b, func(params core.Params) error {
+		_, err := experiments.IMDbTimeSweep([]int{1000, 3000},
+			[]string{experiments.MethodExplain3D}, params, 1000, time.Minute)
+		return err
+	})
+}
+
+// BenchmarkFig8aWorkers does the same on the synthetic Fig 8a workload,
+// where smart partitioning produces many independent sub-problems.
+func BenchmarkFig8aWorkers(b *testing.B) {
+	reportSeqVsPar(b, func(params core.Params) error {
+		sw := experiments.SyntheticSweep{
+			Base:       datagen.SyntheticSpec{D: 0.2, V: 1000, Seed: 41},
+			Ns:         []int{1000},
+			BatchSizes: []int{100},
+			Budget:     time.Minute,
+		}
+		_, err := sw.Run(params)
+		return err
 	})
 }
 

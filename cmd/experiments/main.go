@@ -25,14 +25,16 @@ import (
 )
 
 var (
-	exp    = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all")
-	scale  = flag.Float64("scale", 1, "workload scale multiplier")
-	budget = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
+	exp     = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all")
+	scale   = flag.Float64("scale", 1, "workload scale multiplier")
+	budget  = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
+	workers = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
 )
 
 func main() {
 	flag.Parse()
 	params := core.DefaultParams()
+	params.Workers = *workers
 	run := func(name string, f func(core.Params) error) {
 		if *exp != "all" && *exp != name {
 			return

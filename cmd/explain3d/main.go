@@ -4,7 +4,7 @@
 // Usage:
 //
 //	explain3d -db1 dir1 -db2 dir2 -q1 'SELECT ...' -q2 'SELECT ...' \
-//	          -matches matches.txt [-batch 1000] [-timeout 60s]
+//	          -matches matches.txt [-batch 1000] [-timeout 60s] [-workers 8]
 //
 // Each database directory holds one CSV file per table (header row
 // required). The matches file lists attribute matches, one per line, e.g.
@@ -29,6 +29,7 @@ var (
 	matchesPath  = flag.String("matches", "", "file of attribute matches (one per line)")
 	batch        = flag.Int("batch", 0, "smart-partitioning batch size (0 = solve whole)")
 	timeout      = flag.Duration("timeout", time.Duration(0), "solver time budget (0 = unlimited)")
+	workers      = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
 	showEvidence = flag.Bool("evidence", false, "print the evidence mapping")
 )
 
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &explain3d.Options{BatchSize: *batch, SolverTimeout: *timeout}
+	opts := &explain3d.Options{BatchSize: *batch, SolverTimeout: *timeout, Workers: *workers}
 	res, err := explain3d.Explain(db1, db2, *q1, *q2, string(raw), opts)
 	if err != nil {
 		fatal(err)

@@ -17,7 +17,15 @@
 // The optimal explanations are found by translating the problem to a mixed
 // integer linear program (solved by the built-in solver) after
 // canonicalizing the queries' provenance; large problems are decomposed by
-// the smart-partitioning optimizer.
+// the smart-partitioning optimizer. The resulting independent sub-problems
+// are solved concurrently — Options.Workers sets the parallelism (default
+// runtime.GOMAXPROCS(0)) and the output is identical at any worker count
+// (unless a solver budget expires: budget-limited incumbents are
+// timing-dependent, sequentially or not).
+//
+// Note the zero-value convention in Options: Alpha or Beta left at 0 means
+// "use the paper's default of 0.9" (both priors must lie in (0.5, 1], so 0
+// is never a meaningful setting).
 //
 // Quick start:
 //
@@ -35,6 +43,8 @@ package explain3d
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"explain3d/internal/core"
@@ -95,6 +105,9 @@ func (t *Table) Len() int { return t.rel.Len() }
 type Options struct {
 	// Alpha is the prior probability that a tuple is covered by both
 	// datasets; Beta that its impact is correct. Defaults 0.9 each.
+	// Both must lie in (0.5, 1]; a zero value means "use the default",
+	// so neither prior can be set to exactly 0 (0 is outside the valid
+	// range anyway).
 	Alpha, Beta float64
 	// BatchSize > 0 enables the smart-partitioning optimizer with the
 	// given maximum sub-problem size (Section 4 of the paper). 0 solves
@@ -106,6 +119,13 @@ type Options struct {
 	SolverTimeout time.Duration
 	// Summarize controls Stage 3 (pattern summaries); default true.
 	NoSummary bool
+	// Workers is the number of goroutines used for the parallel stages:
+	// candidate scoring in Stage 1 and per-partition MILP solving in
+	// Stage 2. 0 uses runtime.GOMAXPROCS(0); 1 runs fully sequentially.
+	// Results are identical at any worker count, except that solves which
+	// exhaust SolverTimeout return timing-dependent incumbents (true with
+	// or without parallelism).
+	Workers int
 }
 
 // ExplanationKind distinguishes the two explanation types.
@@ -196,6 +216,7 @@ func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Re
 		} else if opts.SolverTimeout < 0 {
 			params.SolverTimeLimit = 0
 		}
+		params.Workers = opts.Workers
 	}
 	res, err := core.Explain(core.Input{
 		DB1: db1.db, DB2: db2.db, Q1: q1, Q2: q2, Mattr: mattr,
@@ -296,10 +317,11 @@ func (d *Database) MustLoadCSVDir(dir string) {
 	}
 	loaded := 0
 	for _, e := range entries {
-		if e.IsDir() || len(e.Name()) < 5 || e.Name()[len(e.Name())-4:] != ".csv" {
-			continue
+		ext := filepath.Ext(e.Name())
+		if e.IsDir() || !strings.EqualFold(ext, ".csv") || e.Name() == ext {
+			continue // e.Name() == ext: a bare ".csv" has no table name
 		}
-		if err := d.LoadCSV(dir + "/" + e.Name()); err != nil {
+		if err := d.LoadCSV(filepath.Join(dir, e.Name())); err != nil {
 			fmt.Fprintf(os.Stderr, "explain3d: %v\n", err)
 			os.Exit(1)
 		}

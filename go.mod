@@ -1,0 +1,3 @@
+module explain3d
+
+go 1.24

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"explain3d/internal/linkage"
@@ -29,6 +30,11 @@ type Input struct {
 	// PairOpts overrides the candidate-generation options for stage 1
 	// (nil uses linkage.DefaultPairOptions).
 	PairOpts *linkage.PairOptions
+	// Workers parallelizes Stage 1: the two queries' provenances are
+	// extracted and canonicalized concurrently, and candidate scoring in
+	// the initial mapping is split across this many goroutines (0 defaults
+	// to runtime.GOMAXPROCS(0); results are identical at any count).
+	Workers int
 }
 
 // Result is the full framework output.
@@ -50,6 +56,14 @@ func Explain(in Input, p Params) (*Result, error) {
 	if !in.Mattr.Comparable() {
 		return nil, fmt.Errorf("core: queries are not comparable (no attribute matches)")
 	}
+	// Validate up front: Stage 1 dominates runtime, so a bad parameter
+	// must fail before it, not after (SolveInstance re-validates cheaply).
+	if err := p.withDefaults().validate(); err != nil {
+		return nil, err
+	}
+	if in.Workers == 0 {
+		in.Workers = p.Workers // one knob parallelizes both stages
+	}
 	stage1 := time.Now()
 	inst, res, err := BuildInstance(in)
 	if err != nil {
@@ -66,30 +80,59 @@ func Explain(in Input, p Params) (*Result, error) {
 }
 
 // BuildInstance runs Stage 1: extract provenance, canonicalize, and derive
-// the initial tuple mapping.
+// the initial tuple mapping. The two queries' extraction/canonicalization
+// chains are independent and run concurrently (the paper reports Stage 1
+// dominates total runtime).
 func BuildInstance(in Input) (*Instance, *Result, error) {
-	p1, err := query.Extract(in.Q1, in.DB1)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: provenance of Q1: %w", err)
+	type sideResult struct {
+		prov  *query.Provenance
+		canon *Canonical
+		err   error
 	}
-	p2, err := query.Extract(in.Q2, in.DB2)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: provenance of Q2: %w", err)
+	extractSide := func(q *sqlparse.Select, db *relation.Database, attrs []string, name string) sideResult {
+		p, err := query.Extract(q, db)
+		if err != nil {
+			return sideResult{err: fmt.Errorf("core: provenance of %s: %w", name, err)}
+		}
+		t, err := Canonicalize(p, attrs)
+		if err != nil {
+			return sideResult{err: fmt.Errorf("core: canonicalizing %s: %w", name, err)}
+		}
+		return sideResult{prov: p, canon: t}
 	}
-	t1, err := Canonicalize(p1, in.Mattr.LeftAttrs())
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: canonicalizing Q1: %w", err)
+	var s1, s2 sideResult
+	if in.Workers == 1 {
+		// Honor the documented fully-sequential contract: no goroutines.
+		s1 = extractSide(in.Q1, in.DB1, in.Mattr.LeftAttrs(), "Q1")
+		s2 = extractSide(in.Q2, in.DB2, in.Mattr.RightAttrs(), "Q2")
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s2 = extractSide(in.Q2, in.DB2, in.Mattr.RightAttrs(), "Q2")
+		}()
+		s1 = extractSide(in.Q1, in.DB1, in.Mattr.LeftAttrs(), "Q1")
+		wg.Wait()
 	}
-	t2, err := Canonicalize(p2, in.Mattr.RightAttrs())
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: canonicalizing Q2: %w", err)
+	if s1.err != nil {
+		return nil, nil, s1.err
 	}
+	if s2.err != nil {
+		return nil, nil, s2.err
+	}
+	p1, t1 := s1.prov, s1.canon
+	p2, t2 := s2.prov, s2.canon
 	matches := in.Mapping
 	if matches == nil {
 		popt := linkage.DefaultPairOptions()
 		if in.PairOpts != nil {
 			popt = *in.PairOpts
 		}
+		if popt.Workers == 0 {
+			popt.Workers = in.Workers
+		}
+		var err error
 		matches, err = InitialMappingWith(t1, t2, in.Mattr, in.Calibrator, popt)
 		if err != nil {
 			return nil, nil, err

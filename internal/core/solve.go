@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"explain3d/internal/graph"
@@ -14,6 +18,12 @@ import (
 // sub-problem as a MILP (Algorithm 1), solve to optimality, and merge the
 // decoded explanations. With BatchSize = 0 the whole instance is one
 // optimization problem — the paper's NOOPT configuration.
+//
+// Sub-problems are independent, so they are solved by a pool of
+// Params.Workers goroutines sharing one solver deadline; fragments are
+// collected by partition index before the final sort, so the output is
+// identical at any worker count (when solves complete without hitting a
+// budget — budget-limited incumbents are inherently timing-dependent).
 func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
@@ -28,52 +38,134 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 	}
 	stats.Partitions = len(subs)
 
-	var deadline time.Time
+	// One context bounds every sub-problem: in-flight workers cancel
+	// cooperatively when the shared budget expires, instead of each
+	// slicing the remaining time independently.
+	ctx := context.Background()
+	var cancel context.CancelFunc
 	if p.SolverTimeLimit > 0 {
-		deadline = time.Now().Add(p.SolverTimeLimit)
+		ctx, cancel = context.WithTimeout(ctx, p.SolverTimeLimit)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
-	result := &Explanations{}
-	for _, sub := range subs {
+	defer cancel()
+
+	frags := make([]*Explanations, len(subs))
+	subStats := make([]Stats, len(subs))
+	var (
+		errOnce  sync.Once
+		failed   atomic.Bool
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			failed.Store(true)
+			cancel() // stop in-flight workers; their results are discarded
+		})
+	}
+	solveSub := func(si int) {
+		if failed.Load() {
+			// A sub-problem already failed; skip the (expensive) encode of
+			// the rest. Note this guards on the error flag, not ctx.Err():
+			// on a legitimate timeout every sub-problem must still run to
+			// emit its delete-everything fallback.
+			return
+		}
+		sub := subs[si]
+		frag := &Explanations{}
+		frags[si] = frag
+		st := &subStats[si]
+		// No pre-encode short-circuit on an expired budget: encoding still
+		// pays off because the solver returns the warm-start (greedy)
+		// incumbent as StatusLimit, so budgets degrade to greedy-quality
+		// solutions rather than delete-everything fallbacks.
 		enc := encode(inst, sub, p)
-		stats.MILPVars += enc.model.NumVars()
-		stats.MILPRows += enc.model.NumRows()
+		st.MILPVars = enc.model.NumVars()
+		st.MILPRows = enc.model.NumRows()
 		opt := milp.Options{MaxNodes: p.SolverMaxNodes, WarmStart: warmStart(inst, enc)}
-		if !deadline.IsZero() {
-			remain := time.Until(deadline)
-			if remain <= 0 {
-				remain = time.Millisecond
-			}
-			opt.TimeLimit = remain
-		}
-		sol, err := milp.Solve(enc.model, opt)
+		sol, err := milp.SolveContext(ctx, enc.model, opt)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: solving sub-problem: %w", err)
+			fail(fmt.Errorf("core: solving sub-problem: %w", err))
+			return
 		}
-		stats.Nodes += sol.Nodes
+		st.Nodes = sol.Nodes
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusLimit:
-			stats.TimedOut = true
+			st.TimedOut = true
 		case milp.StatusNoSolution:
 			// Budget expired before any feasible point: fall back to
 			// deleting everything in this sub-problem (always complete).
-			stats.TimedOut = true
+			st.TimedOut = true
 			for _, id := range sub.left {
-				result.Prov = append(result.Prov, ProvExpl{Side: Left, Tuple: id})
+				frag.Prov = append(frag.Prov, ProvExpl{Side: Left, Tuple: id})
 			}
 			for _, id := range sub.right {
-				result.Prov = append(result.Prov, ProvExpl{Side: Right, Tuple: id})
+				frag.Prov = append(frag.Prov, ProvExpl{Side: Right, Tuple: id})
 			}
-			continue
+			return
 		default:
 			// The encoding always admits the all-deleted solution, so an
 			// infeasible or unbounded status signals an encoding bug.
-			return nil, nil, fmt.Errorf("core: sub-problem unexpectedly %v (%s)", sol.Status, enc.model)
+			fail(fmt.Errorf("core: sub-problem unexpectedly %v (%s)", sol.Status, enc.model))
+			return
 		}
-		frag := decode(inst, enc, sol)
+		*frag = *decode(inst, enc, sol)
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	if workers <= 1 {
+		for si := range subs {
+			solveSub(si)
+			if failed.Load() {
+				break
+			}
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range work {
+					solveSub(si)
+				}
+			}()
+		}
+		for si := range subs {
+			if failed.Load() {
+				break
+			}
+			work <- si
+		}
+		close(work)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Deterministic merge: partition order, then the canonical sort.
+	result := &Explanations{}
+	for si := range subs {
+		frag := frags[si]
 		result.Prov = append(result.Prov, frag.Prov...)
 		result.Val = append(result.Val, frag.Val...)
 		result.Evidence = append(result.Evidence, frag.Evidence...)
+		stats.MILPVars += subStats[si].MILPVars
+		stats.MILPRows += subStats[si].MILPRows
+		stats.Nodes += subStats[si].Nodes
+		if subStats[si].TimedOut {
+			stats.TimedOut = true
+		}
 	}
 	sortExplanations(result)
 	stats.SolveTime = time.Since(start)

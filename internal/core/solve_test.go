@@ -1,0 +1,186 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"explain3d/internal/linkage"
+)
+
+// clusteredInstance builds a synthetic instance of n independent 2×2
+// clusters with varied probabilities and impact mismatches, so smart
+// partitioning yields many sub-problems and the optimum mixes provenance-
+// and value-based explanations.
+func clusteredInstance(n int) *Instance {
+	t1 := &Canonical{}
+	t2 := &Canonical{}
+	var matches []linkage.Match
+	for k := 0; k < n; k++ {
+		l0, l1 := 2*k, 2*k+1
+		r0, r1 := 2*k, 2*k+1
+		t1.Impacts = append(t1.Impacts, float64(1+k%3), 2)
+		t1.Keys = append(t1.Keys, "L", "L")
+		t2.Impacts = append(t2.Impacts, float64(1+k%3), float64(2+k%2))
+		t2.Keys = append(t2.Keys, "R", "R")
+		matches = append(matches,
+			linkage.Match{L: l0, R: r0, P: 0.95},
+			linkage.Match{L: l1, R: r1, P: 0.55 + 0.01*float64(k%20)},
+			linkage.Match{L: l0, R: r1, P: 0.15},
+		)
+	}
+	return &Instance{T1: t1, T2: t2, Matches: matches,
+		Card: Cardinality{LeftAtMostOne: true, RightAtMostOne: true}}
+}
+
+// TestSolveInstanceWorkersDeterministic asserts the worker pool changes
+// only the wall clock: explanations from Workers 1, 3, and 8 are
+// identical, field for field, on a partitioned instance.
+func TestSolveInstanceWorkersDeterministic(t *testing.T) {
+	inst := clusteredInstance(12)
+	p := DefaultParams()
+	p.BatchSize = 6
+
+	p.Workers = 1
+	seq, seqStats, err := SolveInstance(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Partitions < 4 {
+		t.Fatalf("expected many partitions, got %d", seqStats.Partitions)
+	}
+	if err := CheckComplete(inst, seq); err != nil {
+		t.Fatalf("sequential solution incomplete: %v", err)
+	}
+	for _, workers := range []int{3, 8} {
+		p.Workers = workers
+		par, parStats, err := SolveInstance(inst, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Prov, par.Prov) {
+			t.Errorf("Workers=%d: Prov diverges:\nseq %v\npar %v", workers, seq.Prov, par.Prov)
+		}
+		if !reflect.DeepEqual(seq.Val, par.Val) {
+			t.Errorf("Workers=%d: Val diverges:\nseq %v\npar %v", workers, seq.Val, par.Val)
+		}
+		if !reflect.DeepEqual(seq.Evidence, par.Evidence) {
+			t.Errorf("Workers=%d: Evidence diverges:\nseq %v\npar %v", workers, seq.Evidence, par.Evidence)
+		}
+		if parStats.Partitions != seqStats.Partitions ||
+			parStats.MILPVars != seqStats.MILPVars ||
+			parStats.MILPRows != seqStats.MILPRows {
+			t.Errorf("Workers=%d: stats diverge: seq %+v par %+v", workers, seqStats, parStats)
+		}
+	}
+}
+
+// TestSolveInstanceWorkersDefault exercises the GOMAXPROCS default
+// (Workers = 0) against the sequential pipeline on the Figure 1 workload.
+func TestSolveInstanceWorkersDefault(t *testing.T) {
+	inst := clusteredInstance(5)
+	p := DefaultParams()
+	p.BatchSize = 4
+	p.Workers = 1
+	seq, _, err := SolveInstance(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 0
+	par, _, err := SolveInstance(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("default worker count diverges from sequential:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestParamsWorkersValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Workers = -1
+	if _, _, err := SolveInstance(clusteredInstance(1), p); err == nil {
+		t.Fatal("negative Workers should be rejected")
+	}
+}
+
+func TestFilterMatchesEdgeCases(t *testing.T) {
+	if got := FilterMatches(nil, 0.5); len(got) != 0 {
+		t.Fatalf("nil input should filter to empty, got %v", got)
+	}
+	in := []linkage.Match{{L: 0, R: 0, P: 0.4}, {L: 1, R: 1, P: 0.5}, {L: 2, R: 2, P: 0.6}}
+	got := FilterMatches(in, 0.5)
+	if len(got) != 2 || got[0].L != 1 || got[1].L != 2 {
+		t.Fatalf("floor should keep matches with P >= 0.5, got %v", got)
+	}
+	if got := FilterMatches(in, 0.99); len(got) != 0 {
+		t.Fatalf("floor above all probabilities should drop everything, got %v", got)
+	}
+}
+
+func TestSplitInstanceZeroMatches(t *testing.T) {
+	inst := &Instance{
+		T1:   &Canonical{Impacts: []float64{1, 2, 3}, Keys: []string{"a", "b", "c"}},
+		T2:   &Canonical{Impacts: []float64{4, 5}, Keys: []string{"x", "y"}},
+		Card: Cardinality{LeftAtMostOne: true, RightAtMostOne: true},
+	}
+	for _, batch := range []int{0, 2} {
+		p := DefaultParams()
+		p.BatchSize = batch
+		subs, err := splitInstance(inst, p)
+		if err != nil {
+			t.Fatalf("BatchSize=%d: %v", batch, err)
+		}
+		seenL, seenR := map[int]bool{}, map[int]bool{}
+		for _, sub := range subs {
+			if len(sub.matches) != 0 {
+				t.Fatalf("BatchSize=%d: sub-problem has matches %v without any in the instance", batch, sub.matches)
+			}
+			for _, id := range sub.left {
+				if seenL[id] {
+					t.Fatalf("BatchSize=%d: left tuple %d in two partitions", batch, id)
+				}
+				seenL[id] = true
+			}
+			for _, id := range sub.right {
+				if seenR[id] {
+					t.Fatalf("BatchSize=%d: right tuple %d in two partitions", batch, id)
+				}
+				seenR[id] = true
+			}
+		}
+		if len(seenL) != 3 || len(seenR) != 2 {
+			t.Fatalf("BatchSize=%d: partitions cover %d left, %d right tuples; want 3 and 2", batch, len(seenL), len(seenR))
+		}
+	}
+	// End to end: with no evidence available, every tuple is deleted.
+	expl, _, err := SolveInstance(inst, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl.Prov) != 5 || len(expl.Val) != 0 || len(expl.Evidence) != 0 {
+		t.Fatalf("zero-match instance should delete everything, got %+v", expl)
+	}
+}
+
+// TestSolveInstanceCanceledBudget checks the shared-deadline path: a
+// nominal budget that expires immediately must still return a complete
+// (all-deleted) fallback with TimedOut set, at any worker count.
+func TestSolveInstanceCanceledBudget(t *testing.T) {
+	inst := clusteredInstance(8)
+	for _, workers := range []int{1, 4} {
+		p := DefaultParams()
+		p.BatchSize = 6
+		p.Workers = workers
+		p.SolverTimeLimit = 1 // one nanosecond: expires before any node
+		expl, stats, err := SolveInstance(inst, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.TimedOut {
+			t.Fatalf("Workers=%d: expected TimedOut with a 1ns budget", workers)
+		}
+		if err := CheckComplete(inst, expl); err != nil {
+			t.Fatalf("Workers=%d: fallback explanations incomplete: %v", workers, err)
+		}
+	}
+}

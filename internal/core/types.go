@@ -115,10 +115,19 @@ type Params struct {
 	BatchSize int
 	// Smart holds the partitioner's θl/θh/R (defaults per the paper).
 	Smart graph.SmartOptions
-	// SolverTimeLimit bounds each MILP solve (0 = unlimited).
+	// SolverTimeLimit bounds the whole Stage-2 solve (0 = unlimited): all
+	// sub-problems share one deadline and in-flight solves cancel
+	// cooperatively when it expires.
 	SolverTimeLimit time.Duration
 	// SolverMaxNodes bounds branch-and-bound nodes per MILP block.
 	SolverMaxNodes int
+	// Workers is the number of sub-problems solved concurrently by
+	// SolveInstance. 0 defaults to runtime.GOMAXPROCS(0); 1 reproduces the
+	// sequential pipeline. Explanations are identical at any worker count
+	// (fragments are merged in partition order before the canonical sort);
+	// the exception is solves that exhaust SolverTimeLimit, whose
+	// incumbents are timing-dependent with or without parallelism.
+	Workers int
 }
 
 // DefaultParams returns the parameters used throughout the evaluation:
@@ -153,6 +162,9 @@ func (p Params) validate() error {
 	}
 	if p.BatchSize < 0 {
 		return fmt.Errorf("core: BatchSize must be ≥ 0, got %d", p.BatchSize)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be ≥ 0, got %d", p.Workers)
 	}
 	return nil
 }

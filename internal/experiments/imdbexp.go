@@ -63,7 +63,7 @@ func RunIMDb(opt IMDbOptions, params core.Params, methods []string) (*IMDbReport
 	for _, tpl := range datagen.Templates() {
 		st := IMDbTemplateStats{Template: tpl.ID, Name: tpl.Name}
 		for k := 0; k < opt.Instantiations; k++ {
-			pc, err := prepareIMDbCase(im, tpl, tpl.RandomParam(rng, opt.Spec))
+			pc, err := prepareIMDbCase(im, tpl, tpl.RandomParam(rng, opt.Spec), params.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("template %d: %w", tpl.ID, err)
 			}
@@ -111,7 +111,7 @@ type imdbCase struct {
 	resP1, resP2 int
 }
 
-func prepareIMDbCase(im *datagen.IMDb, tpl datagen.Template, param string) (*imdbCase, error) {
+func prepareIMDbCase(im *datagen.IMDb, tpl datagen.Template, param string, workers int) (*imdbCase, error) {
 	q1, q2, mattr, err := tpl.Instantiate(param)
 	if err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func prepareIMDbCase(im *datagen.IMDb, tpl datagen.Template, param string) (*imd
 	popt.MinSharedTokens = 2 // titles/names share frequent tokens; require two
 	inst, res, err := core.BuildInstance(core.Input{
 		DB1: im.DB1, DB2: im.DB2, Q1: q1, Q2: q2, Mattr: mattr,
-		MinProb: 1e-9, PairOpts: &popt,
+		MinProb: 1e-9, PairOpts: &popt, Workers: workers,
 	})
 	if err != nil {
 		return nil, err
@@ -164,7 +164,7 @@ func IMDbTimeSweep(sizes []int, methods []string, params core.Params, batchSize 
 		if err != nil {
 			return nil, err
 		}
-		pc, err := prepareIMDbCase(im, tpl, "2000")
+		pc, err := prepareIMDbCase(im, tpl, "2000", params.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -57,7 +57,7 @@ func RunSyntheticPoint(cfg SyntheticConfig, params core.Params) ([]SyntheticPoin
 	start := time.Now()
 	inst, res, err := core.BuildInstance(core.Input{
 		DB1: s.DB1, DB2: s.DB2, Q1: s.Q1, Q2: s.Q2, Mattr: s.Mattr,
-		MinProb: 1e-9, PairOpts: &popt,
+		MinProb: 1e-9, PairOpts: &popt, Workers: params.Workers,
 	})
 	if err != nil {
 		return nil, err

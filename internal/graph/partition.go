@@ -167,19 +167,26 @@ func initialPartition(g *Graph, opt PartitionOptions) []int {
 	}
 	var load []int
 	place := func(u int) {
-		// Score adjacent parts by connecting edge weight.
+		// Score adjacent parts by connecting edge weight. Candidates are
+		// visited in increasing part index so ties resolve identically on
+		// every run (map iteration order must not leak into the result).
 		scores := make(map[int]float64)
 		for _, e := range g.Neighbors(u) {
 			if p := part[e.To]; p >= 0 {
 				scores[p] += e.Weight
 			}
 		}
+		cands := make([]int, 0, len(scores))
+		for p := range scores {
+			cands = append(cands, p)
+		}
+		sort.Ints(cands)
 		bestPart, bestScore := -1, 0.0
-		for p, s := range scores {
+		for _, p := range cands {
 			if load[p]+g.NodeWeight[u] > opt.LMax {
 				continue
 			}
-			if s > bestScore || (s == bestScore && bestPart >= 0 && p < bestPart) {
+			if s := scores[p]; s > bestScore {
 				bestPart, bestScore = p, s
 			}
 		}
@@ -245,21 +252,29 @@ func refine(g *Graph, part []int, opt PartitionOptions) {
 		improved := false
 		for u := 0; u < n; u++ {
 			from := part[u]
-			// Connection weight to each adjacent part.
+			// Connection weight to each adjacent part, visited in
+			// increasing part index: near-ties (within the 1e-12 gain
+			// tolerance) must resolve the same way on every run, so map
+			// iteration order cannot be allowed to pick the winner.
 			conn := make(map[int]float64)
 			for _, e := range g.Neighbors(u) {
 				conn[part[e.To]] += e.Weight
 			}
+			cands := make([]int, 0, len(conn))
+			for p := range conn {
+				cands = append(cands, p)
+			}
+			sort.Ints(cands)
 			bestPart, bestGain := from, 0.0
-			for p, w := range conn {
+			for _, p := range cands {
 				if p == from {
 					continue
 				}
 				if load[p]+g.NodeWeight[u] > opt.LMax {
 					continue
 				}
-				gain := w - conn[from]
-				if gain > bestGain+1e-12 || (gain == bestGain && bestPart != from && p < bestPart) {
+				gain := conn[p] - conn[from]
+				if gain > bestGain+1e-12 {
 					bestPart, bestGain = p, gain
 				}
 			}

@@ -2,7 +2,10 @@ package linkage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"explain3d/internal/relation"
 )
@@ -29,6 +32,10 @@ type PairOptions struct {
 	// 2 prunes pairs that only share a frequent token (articles, common
 	// vocabulary words) and keeps large workloads tractable.
 	MinSharedTokens int
+	// Workers splits candidate scoring into contiguous left-row ranges
+	// scored concurrently (0 defaults to runtime.GOMAXPROCS(0)). The
+	// returned matches are identical at any worker count.
+	Workers int
 }
 
 // DefaultPairOptions enables blocking with the default similarity floor.
@@ -49,8 +56,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	// never re-tokenizes.
 	lTok := tokenTables(left, leftIdx)
 	rTok := tokenTables(right, rightIdx)
-	var out []Match
-	score := func(i, j int) {
+	score := func(i, j int, out []Match) []Match {
 		total := 0.0
 		for k := range leftIdx {
 			lv, rv := left.Rows[i][leftIdx[k]], right.Rows[j][rightIdx[k]]
@@ -64,36 +70,40 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		if s >= opt.MinSim && s > 0 {
 			out = append(out, Match{L: i, R: j, Sim: s})
 		}
+		return out
 	}
-	if !opt.Block || (!anyStringColumn(left, leftIdx) && !anyStringColumn(right, rightIdx)) {
-		// Unblocked, or numeric-only matching attributes where token
-		// blocking is meaningless: score the cross product.
-		for i := range left.Rows {
-			for j := range right.Rows {
-				score(i, j)
-			}
-		}
-		return out, nil
-	}
+	blocked := opt.Block && (anyStringColumn(left, leftIdx) || anyStringColumn(right, rightIdx))
 	// Token blocking: inverted index over right-side tokens of the matched
 	// string attributes; a pair is scored when it shares at least
-	// MinSharedTokens distinct tokens.
-	index := make(map[string][]int)
-	for j, row := range right.Rows {
-		seen := make(map[string]bool)
-		for k, c := range rightIdx {
-			if rTok[k] == nil || row[c].IsNull() {
-				continue
-			}
-			for tok := range rTok[k][j] {
-				if !seen[tok] {
-					seen[tok] = true
-					index[tok] = append(index[tok], j)
+	// MinSharedTokens distinct tokens. Without blocking (or with
+	// numeric-only matching attributes, where token blocking is
+	// meaningless) the full cross product is scored.
+	var index map[string][]int
+	if blocked {
+		index = make(map[string][]int)
+		for j, row := range right.Rows {
+			seen := make(map[string]bool)
+			for k, c := range rightIdx {
+				if rTok[k] == nil || row[c].IsNull() {
+					continue
+				}
+				for tok := range rTok[k][j] {
+					if !seen[tok] {
+						seen[tok] = true
+						index[tok] = append(index[tok], j)
+					}
 				}
 			}
 		}
 	}
-	for i, row := range left.Rows {
+	scoreRow := func(i int, out []Match) []Match {
+		if !blocked {
+			for j := range right.Rows {
+				out = score(i, j, out)
+			}
+			return out
+		}
+		row := left.Rows[i]
 		cand := make(map[int]int)
 		seen := make(map[string]bool)
 		for k, c := range leftIdx {
@@ -118,8 +128,69 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		}
 		sort.Ints(js)
 		for _, j := range js {
-			score(i, j)
+			out = score(i, j, out)
 		}
+		return out
+	}
+	n := len(left.Rows)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var out []Match
+		for i := 0; i < n; i++ {
+			out = scoreRow(i, out)
+		}
+		return out, nil
+	}
+	// Contiguous row-range chunks scored in parallel: each chunk's matches
+	// come out in the same (i, j) order the sequential scan produces, so
+	// concatenating chunks in range order reproduces it exactly. The
+	// shared token tables and inverted index are read-only here. Chunks
+	// are much smaller than n/workers and pulled from a shared counter so
+	// candidate-count skew (dense rows clustered together) cannot
+	// serialize the scan on one worker.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	blocks := make([][]Match, nChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo, hi := c*chunk, (c+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				var out []Match
+				for i := lo; i < hi; i++ {
+					out = scoreRow(i, out)
+				}
+				blocks[c] = out
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]Match, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
 	}
 	return out, nil
 }

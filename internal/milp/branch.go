@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,8 +11,20 @@ import (
 // Solve optimizes the model. Block decomposition splits the model into
 // independent sub-problems first; each block is solved by LP-based
 // branch-and-bound. The returned solution carries StatusLimit when a budget
-// expired but a feasible incumbent exists.
+// expired but a feasible incumbent exists. Options.TimeLimit is a
+// convenience over SolveContext: callers that share one budget across many
+// models (e.g. parallel partition solving) should pass a context with a
+// deadline instead.
 func Solve(m *Model, opt Options) (*Solution, error) {
+	return SolveContext(context.Background(), m, opt)
+}
+
+// SolveContext is Solve under a context: the solve stops cooperatively when
+// ctx is canceled or its deadline passes, returning the incumbent
+// (StatusLimit) or StatusNoSolution exactly as a TimeLimit expiry would.
+// When both a context deadline and Options.TimeLimit are set, the earlier
+// bound wins.
+func SolveContext(ctx context.Context, m *Model, opt Options) (*Solution, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
@@ -19,6 +32,9 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 	var deadline time.Time
 	if opt.TimeLimit > 0 {
 		deadline = time.Now().Add(opt.TimeLimit)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
 	}
 
 	// Constant (empty) rows arise when coefficient merging cancels every
@@ -57,7 +73,7 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 				warm = nil
 			}
 		}
-		res := branchAndBound(sub, opt, warm, deadline)
+		res := branchAndBound(ctx, sub, opt, warm, deadline)
 		sol.Nodes += res.nodes
 		switch res.status {
 		case StatusInfeasible:
@@ -171,8 +187,8 @@ type bbNode struct {
 
 // branchAndBound solves one block. Internally everything is a
 // minimization; maximization models are negated on entry and restored on
-// exit.
-func branchAndBound(m *Model, opt Options, warm []float64, deadline time.Time) bbResult {
+// exit. Cancellation of ctx is treated exactly like an expired deadline.
+func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, deadline time.Time) bbResult {
 	n := len(m.vars)
 	c := make([]float64, n)
 	sign := 1.0
@@ -203,6 +219,9 @@ func branchAndBound(m *Model, opt Options, warm []float64, deadline time.Time) b
 	}
 
 	expired := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
@@ -218,7 +237,7 @@ func branchAndBound(m *Model, opt Options, warm []float64, deadline time.Time) b
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		st, obj, x := solveLP(c, node.lb, node.ub, m.rows, deadline)
+		st, obj, x := solveLP(ctx, c, node.lb, node.ub, m.rows, deadline)
 		switch st {
 		case lpInfeasible:
 			continue

@@ -189,7 +189,9 @@ func (s Status) String() string {
 
 // Options tunes the solver.
 type Options struct {
-	// TimeLimit bounds wall-clock time (0 = unlimited).
+	// TimeLimit bounds wall-clock time (0 = unlimited). SolveContext
+	// callers may instead (or additionally) put a deadline on the context;
+	// the earlier bound wins.
 	TimeLimit time.Duration
 	// MaxNodes bounds branch-and-bound nodes per block (0 = default 200000).
 	MaxNodes int

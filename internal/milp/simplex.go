@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"time"
 )
@@ -47,7 +48,8 @@ type simplex struct {
 	xB       []float64
 	d        []float64 // reduced costs, maintained incrementally
 	maxIter  int
-	deadline time.Time // zero = no limit
+	deadline time.Time       // zero = no limit
+	ctx      context.Context // nil = never canceled
 }
 
 // newSimplex builds the working problem from a (minimization) model slice:
@@ -268,7 +270,7 @@ func (s *simplex) iterate(phase1 bool) lpStatus {
 		if iter%512 == 511 {
 			s.computeReducedCosts() // contain incremental drift
 		}
-		if iter%64 == 63 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		if iter%64 == 63 && s.expired() {
 			return lpIterLimit
 		}
 		d := s.d
@@ -439,9 +441,18 @@ func (s *simplex) pivot(r, enter int, dir, t float64, leaveAt varStatus) {
 // limit. Partitioned workloads never approach this.
 const maxTableauCells = 40 << 20
 
+// expired reports whether the deadline passed or the context was canceled.
+func (s *simplex) expired() bool {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return true
+	}
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
 // solveLP solves min c·x subject to rows and bounds; it returns the status,
-// objective, and structural solution. A zero deadline means no limit.
-func solveLP(c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus, float64, []float64) {
+// objective, and structural solution. A zero deadline means no limit;
+// cancellation of ctx is reported as an iteration limit.
+func solveLP(ctx context.Context, c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus, float64, []float64) {
 	m := len(rows)
 	nSlack := 0
 	for _, r := range rows {
@@ -454,6 +465,7 @@ func solveLP(c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus,
 	}
 	s := newSimplex(c, lb, ub, rows)
 	s.deadline = deadline
+	s.ctx = ctx
 	st := s.solve()
 	if st != lpOptimal {
 		return st, 0, nil
