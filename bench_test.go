@@ -91,6 +91,14 @@ func BenchmarkFig7cTimeVsTuples(b *testing.B) {
 		if len(points) == 0 {
 			b.Fatal("no points")
 		}
+		nodes, iters := 0, 0
+		for _, p := range points {
+			nodes += p.Stats.Nodes
+			iters += p.Stats.Iters
+		}
+		if nodes > 0 {
+			b.ReportMetric(float64(iters)/float64(nodes), "itersPerNode")
+		}
 	}
 }
 
@@ -101,12 +109,18 @@ func benchmarkSyntheticSweep(b *testing.B, sw experiments.SyntheticSweep) {
 			b.Fatal(err)
 		}
 		worst := 1.0
+		nodes, iters := 0, 0
 		for _, p := range pts {
 			if !p.DNF && p.ExplF1 < worst {
 				worst = p.ExplF1
 			}
+			nodes += p.Stats.Nodes
+			iters += p.Stats.Iters
 		}
 		b.ReportMetric(worst, "worstExplF1")
+		if nodes > 0 {
+			b.ReportMetric(float64(iters)/float64(nodes), "itersPerNode")
+		}
 	}
 }
 

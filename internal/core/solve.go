@@ -90,6 +90,7 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 			return
 		}
 		st.Nodes = sol.Nodes
+		st.Iters = sol.Iters
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusLimit:
@@ -163,6 +164,7 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 		stats.MILPVars += subStats[si].MILPVars
 		stats.MILPRows += subStats[si].MILPRows
 		stats.Nodes += subStats[si].Nodes
+		stats.Iters += subStats[si].Iters
 		if subStats[si].TimedOut {
 			stats.TimedOut = true
 		}
@@ -198,7 +200,21 @@ func splitInstance(inst *Instance, p Params) ([]*subProblem, error) {
 	if err != nil {
 		return nil, err
 	}
-	partOf := make([]int, bip.Size())
+	return buildSubProblems(inst, parts), nil
+}
+
+// buildSubProblems turns a node partitioning into optimization units. The
+// partition-of table starts at a -1 sentinel, not zero: a node the
+// partitioner left unassigned must not be silently treated as partition 0,
+// where a match between two such nodes would be appended to subs[0] even
+// though its tuples are not in that sub-problem's left/right — corrupting
+// the encode. Matches with an unassigned endpoint are dropped instead,
+// exactly like cut matches.
+func buildSubProblems(inst *Instance, parts [][]int) []*subProblem {
+	partOf := make([]int, inst.T1.Len()+inst.T2.Len())
+	for i := range partOf {
+		partOf[i] = -1
+	}
 	for pi, part := range parts {
 		for _, node := range part {
 			partOf[node] = pi
@@ -219,11 +235,12 @@ func splitInstance(inst *Instance, p Params) ([]*subProblem, error) {
 	for _, m := range inst.Matches {
 		pl := partOf[m.L]
 		pr := partOf[inst.T1.Len()+m.R]
-		if pl == pr {
-			subs[pl].matches = append(subs[pl].matches, m)
+		if pl < 0 || pl != pr {
+			continue // cut by the partitioning, or endpoint unassigned
 		}
+		subs[pl].matches = append(subs[pl].matches, m)
 	}
-	return subs, nil
+	return subs
 }
 
 // FilterMatches drops matches below a probability floor; stage 1 applies

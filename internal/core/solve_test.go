@@ -184,3 +184,33 @@ func TestSolveInstanceCanceledBudget(t *testing.T) {
 		}
 	}
 }
+
+// Regression: buildSubProblems must not treat nodes the partitioner left
+// unassigned as members of partition 0. A match between two unassigned
+// nodes used to be appended to subs[0] even though its tuples are not in
+// that sub-problem's left/right, corrupting the encode.
+func TestBuildSubProblemsDropsUnassignedNodes(t *testing.T) {
+	inst := &Instance{
+		T1:      &Canonical{Impacts: []float64{1, 2}, Keys: []string{"a", "b"}},
+		T2:      &Canonical{Impacts: []float64{3, 4}, Keys: []string{"x", "y"}},
+		Matches: []linkage.Match{{L: 0, R: 0, P: 0.9}, {L: 1, R: 1, P: 0.8}},
+	}
+	// Nodes are left tuples then right tuples: {0, 2} assigns left 0 and
+	// right 0; left 1 (node 1) and right 1 (node 3) stay unassigned.
+	subs := buildSubProblems(inst, [][]int{{0, 2}})
+	if len(subs) != 1 {
+		t.Fatalf("sub-problems = %d, want 1", len(subs))
+	}
+	if len(subs[0].left) != 1 || subs[0].left[0] != 0 || len(subs[0].right) != 1 || subs[0].right[0] != 0 {
+		t.Fatalf("sub-problem tuples = left %v right %v, want [0] and [0]", subs[0].left, subs[0].right)
+	}
+	if len(subs[0].matches) != 1 || subs[0].matches[0].L != 0 || subs[0].matches[0].R != 0 {
+		t.Fatalf("matches = %+v: the (1,1) match has unassigned endpoints and must be dropped", subs[0].matches)
+	}
+	// A match with only one assigned endpoint must be dropped too.
+	inst.Matches = []linkage.Match{{L: 0, R: 1, P: 0.9}}
+	subs = buildSubProblems(inst, [][]int{{0, 2}})
+	if len(subs[0].matches) != 0 {
+		t.Fatalf("matches = %+v: half-assigned match must be dropped", subs[0].matches)
+	}
+}

@@ -208,6 +208,10 @@ type Stats struct {
 	MILPVars, MILPRows int
 	// Nodes totals branch-and-bound nodes.
 	Nodes int
+	// Iters totals simplex iterations across all branch-and-bound nodes;
+	// Iters/Nodes is the per-node solver effort the warm-started dual
+	// simplex drives down.
+	Iters int
 	// TimedOut reports that at least one sub-problem hit a solver budget
 	// and returned its incumbent instead of a proven optimum.
 	TimedOut bool

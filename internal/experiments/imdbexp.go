@@ -139,6 +139,9 @@ type TimePoint struct {
 	X      int // tuples (7c, 8a), or scaled parameter value (8b, 8c)
 	Method string
 	Time   time.Duration
+	// Stats carries the Stage-2 solver effort (nodes, simplex iterations)
+	// behind the measurement, so benchmarks can report per-node metrics.
+	Stats core.Stats
 	// DNF marks a configuration skipped or aborted under its budget, like
 	// the paper's >1hr entries.
 	DNF bool
@@ -185,7 +188,7 @@ func IMDbTimeSweep(sizes []int, methods []string, params core.Params, batchSize 
 			if err != nil {
 				return nil, fmt.Errorf("size %d, %s: %w", size, m, err)
 			}
-			out = append(out, TimePoint{X: size, Method: m, Time: r.Time, DNF: r.Stats.TimedOut})
+			out = append(out, TimePoint{X: size, Method: m, Time: r.Time, Stats: r.Stats, DNF: r.Stats.TimedOut})
 		}
 	}
 	return out, nil

@@ -72,7 +72,18 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		}
 		return out
 	}
-	blocked := opt.Block && (anyStringColumn(left, leftIdx) || anyStringColumn(right, rightIdx))
+	// Blocking applies when any matched column has token sets — the same
+	// whole-column sniff tokenTables just performed, so derive it from the
+	// tables instead of re-scanning the relations.
+	blocked := false
+	if opt.Block {
+		for k := range lTok {
+			if lTok[k] != nil || rTok[k] != nil {
+				blocked = true
+				break
+			}
+		}
+	}
 	// Token blocking: inverted index over right-side tokens of the matched
 	// string attributes; a pair is scored when it shares at least
 	// MinSharedTokens distinct tokens. Without blocking (or with
@@ -196,20 +207,20 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 }
 
 // tokenTables precomputes token sets per matched column; entry k is nil
-// when column k is numeric (numeric similarity is used instead).
+// when column k is numeric-only (numeric similarity is used instead). The
+// whole column is scanned: a mixed column whose first value happens to be
+// numeric (e.g. IDs followed by "N/A") still gets token similarity for its
+// string values.
 func tokenTables(r *relation.Relation, idx []int) []map[int]map[string]bool {
 	out := make([]map[int]map[string]bool, len(idx))
 	for k, c := range idx {
 		numericOnly := true
 		for _, row := range r.Rows {
 			v := row[c]
-			if v.IsNull() {
-				continue
-			}
-			if !v.IsNumeric() {
+			if !v.IsNull() && !v.IsNumeric() {
 				numericOnly = false
+				break
 			}
-			break
 		}
 		if numericOnly {
 			continue
@@ -217,32 +228,18 @@ func tokenTables(r *relation.Relation, idx []int) []map[int]map[string]bool {
 		tbl := make(map[int]map[string]bool, len(r.Rows))
 		for i, row := range r.Rows {
 			v := row[c]
-			if v.IsNull() || v.IsNumeric() {
+			if v.IsNull() {
 				continue
 			}
+			// Numeric rows of a mixed column are tokenized by their
+			// canonical value string, so blocking can still surface
+			// numeric↔numeric candidates (which score() then compares with
+			// numeric similarity, not Jaccard).
 			tbl[i] = TokenSet(v.String())
 		}
 		out[k] = tbl
 	}
 	return out
-}
-
-// anyStringColumn reports whether any matched column holds a non-numeric,
-// non-NULL value (checked against the first such value per column).
-func anyStringColumn(r *relation.Relation, idx []int) bool {
-	for _, c := range idx {
-		for _, row := range r.Rows {
-			v := row[c]
-			if v.IsNull() {
-				continue
-			}
-			if !v.IsNumeric() {
-				return true
-			}
-			break
-		}
-	}
-	return false
 }
 
 // Calibrator implements the paper's two-step similarity-to-probability

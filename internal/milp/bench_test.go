@@ -1,0 +1,63 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchModel builds a knapsack-with-side-constraints MILP whose
+// branch-and-bound tree is deep enough for warm-starting to matter; the
+// shape (binaries coupled by a capacity row plus pairwise conflicts)
+// mirrors the paper's explanation encodings.
+func benchModel(nVars int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("bench", Maximize)
+	vars := make([]Var, nVars)
+	terms := make([]Term, nVars)
+	for i := range vars {
+		vars[i] = m.AddVar(0, 1, Binary, "x")
+		m.SetObjCoef(vars[i], float64(5+rng.Intn(17)))
+		terms[i] = Term{vars[i], float64(2 + rng.Intn(9))}
+	}
+	m.AddConstr(terms, LE, float64(3*nVars/2), "cap")
+	for k := 0; k < nVars/2; k++ {
+		a, b := rng.Intn(nVars), rng.Intn(nVars)
+		if a == b {
+			continue
+		}
+		m.AddConstr([]Term{{vars[a], 1}, {vars[b], 1}}, LE, 1, "conflict")
+	}
+	return m
+}
+
+// benchmarkBB solves the same models warm or cold and reports nodes and
+// simplex iterations per node; the warm-started dual simplex should show a
+// large drop in itersPerNode at equal objectives.
+func benchmarkBB(b *testing.B, opt Options) {
+	models := make([]*Model, 4)
+	for i := range models {
+		models[i] = benchModel(26, int64(100+i))
+	}
+	nodes, iters := 0, 0
+	for i := 0; i < b.N; i++ {
+		for _, m := range models {
+			sol, err := Solve(m, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Status != StatusOptimal {
+				b.Fatalf("status %v", sol.Status)
+			}
+			nodes += sol.Nodes
+			iters += sol.Iters
+		}
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes")
+	if nodes > 0 {
+		b.ReportMetric(float64(iters)/float64(nodes), "itersPerNode")
+	}
+}
+
+func BenchmarkBranchAndBoundWarm(b *testing.B) { benchmarkBB(b, Options{}) }
+
+func BenchmarkBranchAndBoundCold(b *testing.B) { benchmarkBB(b, Options{ColdLP: true}) }

@@ -75,13 +75,14 @@ func SolveContext(ctx context.Context, m *Model, opt Options) (*Solution, error)
 		}
 		res := branchAndBound(ctx, sub, opt, warm, deadline)
 		sol.Nodes += res.nodes
+		sol.Iters += res.iters
 		switch res.status {
 		case StatusInfeasible:
-			return &Solution{Status: StatusInfeasible, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+			return &Solution{Status: StatusInfeasible, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
 		case StatusUnbounded:
-			return &Solution{Status: StatusUnbounded, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+			return &Solution{Status: StatusUnbounded, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
 		case StatusNoSolution:
-			return &Solution{Status: StatusNoSolution, Blocks: len(blocks), Nodes: sol.Nodes}, nil
+			return &Solution{Status: StatusNoSolution, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
 		case StatusLimit:
 			sol.Status = StatusLimit
 		}
@@ -178,16 +179,36 @@ type bbResult struct {
 	objective float64
 	x         []float64
 	nodes     int
+	iters     int // simplex iterations across all node solves
 }
 
+// bbNode is one branch-and-bound node, stored as a bound-delta chain
+// against the root: each node records only the branched variable and its
+// bounds at this node, with parent pointers supplying the rest of the
+// path. Full bound arrays are materialized only for cold solves.
 type bbNode struct {
-	lb, ub []float64
+	parent *bbNode // delta chain back to the root (nil at the root)
+	v      int     // branched variable, -1 at the root
+	lo, hi float64 // v's bounds at this node (one side differs from the parent)
 	depth  int
+	// Warm-start provenance: parentSeq names the solved LP state of the
+	// parent. A popped node warm-starts in place when the hot simplex
+	// still holds that state (the first child of a dive), or from snap
+	// when the dive has since moved on (the second child).
+	parentSeq uint64
+	snap      *lpSnapshot
 }
 
 // branchAndBound solves one block. Internally everything is a
 // minimization; maximization models are negated on entry and restored on
 // exit. Cancellation of ctx is treated exactly like an expired deadline.
+//
+// Node relaxations are solved by the warm-started dual simplex (dual.go)
+// whenever the parent's basis is available: the root and periodic
+// refactorization nodes pay for a full two-phase primal solve, every other
+// node applies its one bound delta to an existing optimal basis and
+// repairs it with dual pivots. Options.ColdLP restores the historical
+// solve-from-scratch behavior.
 func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, deadline time.Time) bbResult {
 	n := len(m.vars)
 	c := make([]float64, n)
@@ -225,7 +246,119 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
-	stack := []bbNode{{lb: rootLB, ub: rootUB}}
+	// Warm-start state: hot is the simplex instance holding the most
+	// recently solved node's optimal basis; seq identifies which node that
+	// is (0 = none). snapCells tracks outstanding snapshot memory against
+	// warmCellBudget, warmSince counts warm solves since the last cold
+	// rebuild.
+	useWarm := !opt.ColdLP
+	var (
+		hot       *simplex
+		seq       uint64
+		nextSeq   uint64
+		snapCells int
+		warmSince int
+		iters     int
+	)
+
+	// bounds materializes a node's full bound arrays (root bounds plus the
+	// delta chain, nearest node winning) into shared scratch space.
+	scratchLB := make([]float64, n)
+	scratchUB := make([]float64, n)
+	seen := make([]bool, n)
+	bounds := func(node *bbNode) ([]float64, []float64) {
+		copy(scratchLB, rootLB)
+		copy(scratchUB, rootUB)
+		for nd := node; nd != nil; nd = nd.parent {
+			if nd.v >= 0 && !seen[nd.v] {
+				seen[nd.v] = true
+				scratchLB[nd.v] = nd.lo
+				scratchUB[nd.v] = nd.hi
+			}
+		}
+		for nd := node; nd != nil; nd = nd.parent {
+			if nd.v >= 0 {
+				seen[nd.v] = false
+			}
+		}
+		return scratchLB, scratchUB
+	}
+	// boundsOf reads one variable's bounds at a node without materializing.
+	boundsOf := func(node *bbNode, v int) (float64, float64) {
+		for nd := node; nd != nil; nd = nd.parent {
+			if nd.v == v {
+				return nd.lo, nd.hi
+			}
+		}
+		return rootLB[v], rootUB[v]
+	}
+
+	// coldSolve rebuilds the tableau from scratch (the refactorization
+	// path). On optimality the fresh instance becomes the hot state so the
+	// node's children can warm-start; otherwise the previous hot state is
+	// left intact for other stack entries that still reference it.
+	coldSolve := func(node *bbNode) (lpStatus, float64, []float64) {
+		lb, ub := bounds(node)
+		st, obj, x, s := solveLPKeep(ctx, c, lb, ub, m.rows, deadline)
+		if s != nil {
+			iters += s.pivots
+		}
+		warmSince = 0
+		if st == lpOptimal && s != nil && useWarm {
+			hot = s
+			nextSeq++
+			seq = nextSeq
+		}
+		return st, obj, x
+	}
+
+	// warmSolve solves node from its parent's basis. ok=false means the
+	// caller must fall back to coldSolve: dimensions changed under a
+	// snapshot, the pivot cap was hit without the budget expiring, the
+	// final primal verification failed, or the dual concluded
+	// infeasibility (which is re-proved cold rather than trusted on an
+	// incrementally-updated tableau).
+	warmSolve := func(node *bbNode) (st lpStatus, obj float64, x []float64, ok bool) {
+		if node.snap != nil {
+			sn := node.snap
+			node.snap = nil
+			snapCells -= sn.cells
+			if hot == nil || !hot.restore(sn) {
+				return 0, 0, nil, false
+			}
+		} else if seq == 0 || node.parentSeq != seq {
+			return 0, 0, nil, false
+		}
+		seq = 0 // the hot basis mutates now; its previous identity is gone
+		if !hot.applyBound(node.v, node.lo, node.hi) {
+			return lpInfeasible, 0, nil, true // empty domain needs no proof
+		}
+		p0 := hot.pivots
+		dst := hot.dualIterate(dualPivotCap(hot.m))
+		if dst == lpOptimal {
+			// Primal verification/polish: recomputes reduced costs from the
+			// current tableau and pivots if anything is left on the table,
+			// so a warm node ends exactly as optimal as a cold one.
+			dst = hot.iterate(false)
+		}
+		iters += hot.pivots - p0
+		switch dst {
+		case lpOptimal:
+			warmSince++
+			nextSeq++
+			seq = nextSeq
+			return lpOptimal, hot.objective(), hot.values(), true
+		case lpIterLimit:
+			if expired() {
+				return lpIterLimit, 0, nil, true
+			}
+			return 0, 0, nil, false // pivot cap: numerical trouble
+		default: // lpInfeasible (re-prove cold), lpUnbounded (drift)
+			return 0, 0, nil, false
+		}
+	}
+
+	stack := []*bbNode{{v: -1}}
 	nodes := 0
 	hitLimit := false
 	for len(stack) > 0 {
@@ -237,7 +370,19 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		st, obj, x := solveLP(ctx, c, node.lb, node.ub, m.rows, deadline)
+		var st lpStatus
+		var obj float64
+		var x []float64
+		solved := false
+		if useWarm && node.v >= 0 && warmSince < refactorEvery {
+			st, obj, x, solved = warmSolve(node)
+		} else if node.snap != nil {
+			snapCells -= node.snap.cells // refactorization turn: drop the snapshot
+			node.snap = nil
+		}
+		if !solved {
+			st, obj, x = coldSolve(node)
+		}
 		switch st {
 		case lpInfeasible:
 			continue
@@ -246,7 +391,7 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 			continue
 		case lpUnbounded:
 			if nodes == 1 {
-				return bbResult{status: StatusUnbounded, nodes: nodes}
+				return bbResult{status: StatusUnbounded, nodes: nodes, iters: iters}
 			}
 			continue
 		}
@@ -283,10 +428,11 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		}
 		// Rounding heuristic: snap all integer variables and test.
 		if bestX == nil {
+			lb, ub := bounds(node)
 			rounded := append([]float64(nil), x...)
 			for _, iv := range intVars {
 				rounded[iv] = math.Round(rounded[iv])
-				rounded[iv] = math.Max(node.lb[iv], math.Min(node.ub[iv], rounded[iv]))
+				rounded[iv] = math.Max(lb[iv], math.Min(ub[iv], rounded[iv]))
 			}
 			if m.CheckFeasible(rounded, 1e-6) == nil {
 				robj := 0.0
@@ -304,28 +450,30 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 				continue
 			}
 		}
-		// Branch: explore the side nearest the LP value first (pushed last).
+		// Branch: explore the side nearest the LP value first (pushed
+		// last). That child inherits the hot basis in place; the far child
+		// carries a snapshot of it, budget permitting, and otherwise
+		// re-solves cold when popped.
 		fl := math.Floor(x[branchVar])
-		downLB := append([]float64(nil), node.lb...)
-		downUB := append([]float64(nil), node.ub...)
-		downUB[branchVar] = fl
-		upLB := append([]float64(nil), node.lb...)
-		upUB := append([]float64(nil), node.ub...)
-		upLB[branchVar] = fl + 1
-		down := bbNode{lb: downLB, ub: downUB, depth: node.depth + 1}
-		up := bbNode{lb: upLB, ub: upUB, depth: node.depth + 1}
+		curLo, curHi := boundsOf(node, branchVar)
+		down := &bbNode{parent: node, v: branchVar, lo: curLo, hi: fl, depth: node.depth + 1, parentSeq: seq}
+		up := &bbNode{parent: node, v: branchVar, lo: fl + 1, hi: curHi, depth: node.depth + 1, parentSeq: seq}
+		near, far := up, down
 		if x[branchVar]-fl > 0.5 {
-			stack = append(stack, down, up)
-		} else {
-			stack = append(stack, up, down)
+			near, far = down, up
 		}
+		if useWarm && seq != 0 && hot.m*hot.n <= warmCellBudget-snapCells {
+			far.snap = hot.snapshot()
+			snapCells += far.snap.cells
+		}
+		stack = append(stack, far, near)
 	}
 
 	if bestX == nil {
 		if hitLimit {
-			return bbResult{status: StatusNoSolution, nodes: nodes}
+			return bbResult{status: StatusNoSolution, nodes: nodes, iters: iters}
 		}
-		return bbResult{status: StatusInfeasible, nodes: nodes}
+		return bbResult{status: StatusInfeasible, nodes: nodes, iters: iters}
 	}
 	status := StatusOptimal
 	if hitLimit {
@@ -336,7 +484,7 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 	for i := range bestX {
 		obj += m.vars[i].obj * bestX[i]
 	}
-	return bbResult{status: status, objective: obj, x: bestX, nodes: nodes}
+	return bbResult{status: status, objective: obj, x: bestX, nodes: nodes, iters: iters}
 }
 
 // String summarizes model dimensions.

@@ -204,6 +204,12 @@ type Options struct {
 	WarmStart []float64
 	// DisableBlocks turns off block decomposition (solve as one problem).
 	DisableBlocks bool
+	// ColdLP disables the warm-started dual simplex: every branch-and-bound
+	// node rebuilds its tableau and solves phase 1/phase 2 from scratch.
+	// The warm and cold paths return identical statuses and objectives;
+	// this switch exists for benchmarks, equivalence tests, and as an
+	// escape hatch.
+	ColdLP bool
 }
 
 func (o Options) withDefaults() Options {
@@ -223,6 +229,10 @@ type Solution struct {
 	X         []float64
 	Nodes     int
 	Blocks    int
+	// Iters is the total number of simplex iterations (primal pivots,
+	// bound flips, and dual pivots) across all branch-and-bound nodes —
+	// the per-node effort metric the warm-started solver drives down.
+	Iters int
 }
 
 // Value returns the solved value of v.

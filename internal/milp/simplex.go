@@ -48,6 +48,7 @@ type simplex struct {
 	xB       []float64
 	d        []float64 // reduced costs, maintained incrementally
 	maxIter  int
+	pivots   int             // lifetime simplex iterations (pivots + bound flips)
 	deadline time.Time       // zero = no limit
 	ctx      context.Context // nil = never canceled
 }
@@ -351,14 +352,8 @@ func (s *simplex) iterate(phase1 bool) lpStatus {
 		if math.IsInf(step, 1) {
 			return lpUnbounded
 		}
-		// Apply the step to basic values.
-		if step != 0 {
-			for i := 0; i < s.m; i++ {
-				if s.T[i][enter] != 0 {
-					s.xB[i] -= s.T[i][enter] * dir * step
-				}
-			}
-		}
+		s.applyStep(enter, dir, step)
+		s.pivots++
 		if tBound <= tRow {
 			// Pure bound flip (no basis change).
 			if s.status[enter] == atLower {
@@ -383,6 +378,20 @@ func (s *simplex) iterate(phase1 bool) lpStatus {
 		}
 	}
 	return lpIterLimit
+}
+
+// applyStep moves the entering column's value by dir·step, updating every
+// basic value (xB depends on the nonbasic point as xB = b' − T·x_N).
+// Shared by the primal and dual pivoting loops.
+func (s *simplex) applyStep(enter int, dir, step float64) {
+	if step == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		if s.T[i][enter] != 0 {
+			s.xB[i] -= s.T[i][enter] * dir * step
+		}
+	}
 }
 
 // pivot brings column `enter` into the basis at row r; the departing
@@ -453,6 +462,15 @@ func (s *simplex) expired() bool {
 // objective, and structural solution. A zero deadline means no limit;
 // cancellation of ctx is reported as an iteration limit.
 func solveLP(ctx context.Context, c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus, float64, []float64) {
+	st, obj, x, _ := solveLPKeep(ctx, c, lb, ub, rows, deadline)
+	return st, obj, x
+}
+
+// solveLPKeep is solveLP returning the solver instance as well, so
+// branch-and-bound can snapshot its optimal basis and warm-start child
+// nodes from it. The instance is nil when the relaxation was refused for
+// size.
+func solveLPKeep(ctx context.Context, c, lb, ub []float64, rows []rowData, deadline time.Time) (lpStatus, float64, []float64, *simplex) {
 	m := len(rows)
 	nSlack := 0
 	for _, r := range rows {
@@ -461,14 +479,14 @@ func solveLP(ctx context.Context, c, lb, ub []float64, rows []rowData, deadline 
 		}
 	}
 	if m*(len(c)+nSlack+m) > maxTableauCells {
-		return lpIterLimit, 0, nil
+		return lpIterLimit, 0, nil, nil
 	}
 	s := newSimplex(c, lb, ub, rows)
 	s.deadline = deadline
 	s.ctx = ctx
 	st := s.solve()
 	if st != lpOptimal {
-		return st, 0, nil
+		return st, 0, nil, s
 	}
-	return lpOptimal, s.objective(), s.values()
+	return lpOptimal, s.objective(), s.values(), s
 }

@@ -20,24 +20,26 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 		return nil, fmt.Errorf("relation: reading CSV header for %s: %w", name, err)
 	}
 	rel := New(name, header...)
-	line := 1
+	// row counts 1-based data rows (the header is row 0); both error paths
+	// below report the same physical row under the same number.
+	row := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
+		row++
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV row %d for %s: %w", line, name, err)
+			return nil, fmt.Errorf("relation: reading CSV row %d for %s: %w", row, name, err)
 		}
-		line++
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("relation: CSV row %d for %s has %d fields, want %d", line, name, len(rec), len(header))
+			return nil, fmt.Errorf("relation: CSV row %d for %s has %d fields, want %d", row, name, len(rec), len(header))
 		}
-		row := make(Tuple, len(rec))
+		rowT := make(Tuple, len(rec))
 		for i, cell := range rec {
-			row[i] = ParseValue(cell)
+			rowT[i] = ParseValue(cell)
 		}
-		rel.Rows = append(rel.Rows, row)
+		rel.Rows = append(rel.Rows, rowT)
 	}
 	return rel, nil
 }

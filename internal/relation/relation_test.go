@@ -166,3 +166,26 @@ func TestRelationStringTruncates(t *testing.T) {
 		t.Fatalf("String should truncate long relations: %s", s)
 	}
 }
+
+// Regression: both ReadCSV error paths must report the same physical row
+// under the same 1-based data-row number (the malformed-CSV path used to
+// be one behind the field-count path).
+func TestCSVRowNumberingConsistent(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"short row 1", "a,b\n3\n", "CSV row 1 "},
+		{"short row 2", "a,b\n1,2\n3\n", "CSV row 2 "},
+		{"malformed row 1", "a,b\n\"x\" y,3\n", "CSV row 1 "},
+		{"malformed row 2", "a,b\n1,2\n\"x\" y,3\n", "CSV row 2 "},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV("t", strings.NewReader(c.in))
+		if err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}
