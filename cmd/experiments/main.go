@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"explain3d/internal/core"
@@ -25,14 +27,48 @@ import (
 )
 
 var (
-	exp     = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all")
-	scale   = flag.Float64("scale", 1, "workload scale multiplier")
-	budget  = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
-	workers = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
+	exp        = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all")
+	scale      = flag.Float64("scale", 1, "workload scale multiplier")
+	budget     = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
+	workers    = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	// Profiling the experiment driver is the supported way to see where
+	// Stage 1 / Stage 2 time goes on paper-shaped workloads:
+	//
+	//	go run ./cmd/experiments -exp fig7 -scale 0.5 -cpuprofile cpu.out -memprofile mem.out
+	//	go tool pprof -top cpu.out
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 	params := core.DefaultParams()
 	params.Workers = *workers
 	run := func(name string, f func(core.Params) error) {

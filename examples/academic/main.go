@@ -22,7 +22,7 @@ func main() {
 	db1 := explain3d.NewDatabase("catalog")
 	for _, rel := range pair.DB1.Relations() {
 		t := db1.AddTable(rel.Name, rel.ColumnNames()...)
-		for _, row := range rel.Rows {
+		for _, row := range rel.Tuples() {
 			vals := make([]any, len(row))
 			for i, v := range row {
 				vals[i] = v
@@ -33,7 +33,7 @@ func main() {
 	db2 := explain3d.NewDatabase("agency")
 	for _, rel := range pair.DB2.Relations() {
 		t := db2.AddTable(rel.Name, rel.ColumnNames()...)
-		for _, row := range rel.Rows {
+		for _, row := range rel.Tuples() {
 			vals := make([]any, len(row))
 			for i, v := range row {
 				vals[i] = v

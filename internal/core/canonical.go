@@ -75,14 +75,19 @@ func Canonicalize(p *query.Provenance, attrs []string) (*Canonical, error) {
 		cols = append(cols, a)
 	}
 	cols = append(cols, query.ImpactColumn)
-	out := &Canonical{Rel: relation.New("T", cols...)}
+	// The canonical relation shares the provenance relation's dictionary:
+	// matching-attribute strings keep their codes, so no re-interning.
+	out := &Canonical{Rel: relation.NewWithDict(p.Rel.Dict(), "T", cols...)}
 	for i := range attrs {
 		out.MatchIdx = append(out.MatchIdx, i)
 	}
 
 	strict := strictAggregate(p.Agg)
 	groups := make(map[string]int)
-	for rowID, row := range p.Rel.Rows {
+	var row relation.Tuple
+	rec := make(relation.Tuple, 0, len(idx)+1)
+	for rowID := 0; rowID < p.Rel.Len(); rowID++ {
+		row = p.Rel.RowInto(row, rowID)
 		impact, ok := row[impactIdx].AsFloat()
 		if !ok {
 			return nil, fmt.Errorf("core: non-numeric impact %v in provenance row %d", row[impactIdx], rowID)
@@ -96,21 +101,21 @@ func Canonicalize(p *query.Provenance, attrs []string) (*Canonical, error) {
 		if !exists {
 			gi = out.Len()
 			groups[key] = gi
-			rec := make(relation.Tuple, 0, len(idx)+1)
+			rec = rec[:0]
 			var keyParts []string
 			for _, c := range idx {
 				rec = append(rec, row[c])
 				keyParts = append(keyParts, row[c].String())
 			}
 			rec = append(rec, relation.Float(impact))
-			out.Rel.Rows = append(out.Rel.Rows, rec)
+			out.Rel.AppendRow(rec)
 			out.Impacts = append(out.Impacts, impact)
 			out.Keys = append(out.Keys, strings.Join(keyParts, " / "))
 			out.SourceRows = append(out.SourceRows, []int{rowID})
 			continue
 		}
 		out.Impacts[gi] += impact
-		out.Rel.Rows[gi][len(idx)] = relation.Float(out.Impacts[gi])
+		out.Rel.Set(gi, len(idx), relation.Float(out.Impacts[gi]))
 		out.SourceRows[gi] = append(out.SourceRows[gi], rowID)
 	}
 	return out, nil

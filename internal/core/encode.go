@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"explain3d/internal/linkage"
 	"explain3d/internal/milp"
@@ -30,16 +30,56 @@ type encoded struct {
 	posR   map[int]int
 }
 
+// tagger builds the debug names of variables and rows into one reused
+// byte buffer — the encode hot path used to burn a fmt.Sprintf (reflection,
+// interface boxing) per tuple and per match; each name is now a single
+// string allocation.
+type tagger struct{ buf []byte }
+
+func (t *tagger) side(prefix string, side Side, id int) string {
+	t.buf = append(t.buf[:0], prefix...)
+	if side == Left {
+		t.buf = append(t.buf, 'L')
+	} else {
+		t.buf = append(t.buf, 'R')
+	}
+	t.buf = strconv.AppendInt(t.buf, int64(id), 10)
+	return string(t.buf)
+}
+
+func (t *tagger) num(prefix string, id int) string {
+	t.buf = append(t.buf[:0], prefix...)
+	t.buf = strconv.AppendInt(t.buf, int64(id), 10)
+	return string(t.buf)
+}
+
 // encode implements Algorithm 1: translate a sub-problem of the EXP-3D
 // instance into a MILP whose optimum is the most probable complete
-// explanation set (Section 3.2).
+// explanation set (Section 3.2). It consumes the canonical relations'
+// columnar impact arrays directly and reuses preallocated term and name
+// buffers sized from the sub-problem — no per-tuple fmt or map churn.
 func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 	m := milp.NewModel("exp3d", milp.Maximize)
 	enc := &encoded{model: m, sub: sub}
 
+	posL := make(map[int]int, len(sub.left))
+	for k, id := range sub.left {
+		posL[id] = k
+	}
+	posR := make(map[int]int, len(sub.right))
+	for k, id := range sub.right {
+		posR[id] = k
+	}
+	enc.posL, enc.posR = posL, posR
+
 	// Impact bounds: wide enough for any refined impact in this
 	// sub-problem (a grouped tuple can absorb every partner's impact).
-	lo, hi := impactBounds(inst, sub)
+	lo, hi := impactBounds(inst, sub, posL, posR)
+
+	var tags tagger
+	// terms is the shared scratch buffer for constraint rows; AddConstr
+	// copies (and merges) what it is given, so one buffer serves every row.
+	terms := make([]milp.Term, 0, 8)
 
 	addTuple := func(side Side, id int) (x, y, iv milp.Var) {
 		a, b, c := p.tupleConsts(side, id)
@@ -49,41 +89,42 @@ func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 		} else {
 			impact = inst.T2.Impacts[id]
 		}
-		tag := fmt.Sprintf("%s%d", side, id)
-		x = m.AddVar(0, 1, milp.Binary, "x_"+tag)
-		y = m.AddVar(0, 1, milp.Binary, "y_"+tag)
-		iv = m.AddVar(lo, hi, milp.Continuous, "I_"+tag)
+		x = m.AddVar(0, 1, milp.Binary, tags.side("x_", side, id))
+		y = m.AddVar(0, 1, milp.Binary, tags.side("y_", side, id))
+		iv = m.AddVar(lo, hi, milp.Continuous, tags.side("I_", side, id))
 		m.SetBranchPriority(x, 1)
 		// Equation 7: y = 1 forces I* = I.
-		m.IndicatorEq(y, iv, impact, lo, hi, "imp_"+tag)
+		m.IndicatorEq(y, iv, impact, lo, hi, tags.side("imp_", side, id))
 		// Objective (Equation 8). The paper linearizes the bilinear term
 		// (1−x)·y with big-M rows; the constraint y ≤ 1−x makes the plain
 		// linear form exact: deleted tuples force y = 0, so the term is
 		// a·x + (c−b)·y + b, matching Equation 3 case by case.
-		m.AddConstr([]milp.Term{{Var: y, Coef: 1}, {Var: x, Coef: 1}}, milp.LE, 1, "y_le_notx_"+tag)
+		terms = append(terms[:0], milp.Term{Var: y, Coef: 1}, milp.Term{Var: x, Coef: 1})
+		m.AddConstr(terms, milp.LE, 1, tags.side("y_le_notx_", side, id))
 		m.SetObjCoef(x, a-b)
 		m.SetObjCoef(y, c-b)
 		m.AddObjConst(b)
 		return x, y, iv
 	}
 
-	posL := make(map[int]int, len(sub.left))
-	for k, id := range sub.left {
+	enc.xL = make([]milp.Var, 0, len(sub.left))
+	enc.yL = make([]milp.Var, 0, len(sub.left))
+	enc.iL = make([]milp.Var, 0, len(sub.left))
+	for _, id := range sub.left {
 		x, y, iv := addTuple(Left, id)
 		enc.xL = append(enc.xL, x)
 		enc.yL = append(enc.yL, y)
 		enc.iL = append(enc.iL, iv)
-		posL[id] = k
 	}
-	posR := make(map[int]int, len(sub.right))
-	for k, id := range sub.right {
+	enc.xR = make([]milp.Var, 0, len(sub.right))
+	enc.yR = make([]milp.Var, 0, len(sub.right))
+	enc.iR = make([]milp.Var, 0, len(sub.right))
+	for _, id := range sub.right {
 		x, y, iv := addTuple(Right, id)
 		enc.xR = append(enc.xR, x)
 		enc.yR = append(enc.yR, y)
 		enc.iR = append(enc.iR, iv)
-		posR[id] = k
 	}
-	enc.posL, enc.posR = posL, posR
 
 	// Matches: selection variables with Equation 9's guards and objective.
 	type matchVars struct {
@@ -91,12 +132,14 @@ func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 		l, r int // local positions
 	}
 	mv := make([]matchVars, 0, len(sub.matches))
+	enc.z = make([]milp.Var, 0, len(sub.matches))
 	for mi, match := range sub.matches {
 		l, r := posL[match.L], posR[match.R]
-		tag := fmt.Sprintf("m%d", mi)
-		z := m.AddVar(0, 1, milp.Binary, "z_"+tag)
-		m.AddConstr([]milp.Term{{Var: z, Coef: 1}, {Var: enc.xL[l], Coef: 1}}, milp.LE, 1, "z_xl_"+tag)
-		m.AddConstr([]milp.Term{{Var: z, Coef: 1}, {Var: enc.xR[r], Coef: 1}}, milp.LE, 1, "z_xr_"+tag)
+		z := m.AddVar(0, 1, milp.Binary, tags.num("z_m", mi))
+		terms = append(terms[:0], milp.Term{Var: z, Coef: 1}, milp.Term{Var: enc.xL[l], Coef: 1})
+		m.AddConstr(terms, milp.LE, 1, tags.num("z_xl_m", mi))
+		terms = append(terms[:0], milp.Term{Var: z, Coef: 1}, milp.Term{Var: enc.xR[r], Coef: 1})
+		m.AddConstr(terms, milp.LE, 1, tags.num("z_xr_m", mi))
 		prob := clampProb(match.P)
 		m.SetObjCoef(z, math.Log(prob)-math.Log(1-prob))
 		m.AddObjConst(math.Log(1 - prob))
@@ -117,26 +160,26 @@ func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 		matchesOfR[v.r] = append(matchesOfR[v.r], mi)
 	}
 	for l := range sub.left {
-		terms := []milp.Term{}
+		terms = terms[:0]
 		for _, mi := range matchesOfL[l] {
 			terms = append(terms, milp.Term{Var: mv[mi].z, Coef: 1})
 		}
 		if inst.Card.LeftAtMostOne {
-			m.AddConstr(terms, milp.LE, 1, fmt.Sprintf("cardL%d", l))
+			m.AddConstr(terms, milp.LE, 1, tags.num("cardL", l))
 		}
-		covered := append(append([]milp.Term{}, terms...), milp.Term{Var: enc.xL[l], Coef: 1})
-		m.AddConstr(covered, milp.GE, 1, fmt.Sprintf("covL%d", l))
+		terms = append(terms, milp.Term{Var: enc.xL[l], Coef: 1})
+		m.AddConstr(terms, milp.GE, 1, tags.num("covL", l))
 	}
 	for r := range sub.right {
-		terms := []milp.Term{}
+		terms = terms[:0]
 		for _, mi := range matchesOfR[r] {
 			terms = append(terms, milp.Term{Var: mv[mi].z, Coef: 1})
 		}
 		if inst.Card.RightAtMostOne {
-			m.AddConstr(terms, milp.LE, 1, fmt.Sprintf("cardR%d", r))
+			m.AddConstr(terms, milp.LE, 1, tags.num("cardR", r))
 		}
-		covered := append(append([]milp.Term{}, terms...), milp.Term{Var: enc.xR[r], Coef: 1})
-		m.AddConstr(covered, milp.GE, 1, fmt.Sprintf("covR%d", r))
+		terms = append(terms, milp.Term{Var: enc.xR[r], Coef: 1})
+		m.AddConstr(terms, milp.GE, 1, tags.num("covR", r))
 	}
 
 	// Impact equality (Definition 3.3 / Equations 11–12). Group by the
@@ -147,34 +190,26 @@ func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 	groupByRight := inst.Card.LeftAtMostOne
 	enc.zi = make([]milp.Var, len(sub.matches))
 	if groupByRight {
-		ziOf := make(map[int]milp.Var)
 		for r := range sub.right {
-			terms := []milp.Term{}
+			terms = terms[:0]
 			for _, mi := range matchesOfR[r] {
-				zi := m.ProductBinaryCont(mv[mi].z, enc.iL[mv[mi].l], lo, hi, fmt.Sprintf("zi%d", mi))
-				ziOf[mi] = zi
+				zi := m.ProductBinaryCont(mv[mi].z, enc.iL[mv[mi].l], lo, hi, tags.num("zi", mi))
+				enc.zi[mi] = zi
 				terms = append(terms, milp.Term{Var: zi, Coef: 1})
 			}
 			terms = append(terms, milp.Term{Var: enc.iR[r], Coef: -1})
-			m.AddConstr(terms, milp.EQ, 0, fmt.Sprintf("impEqR%d", r))
-		}
-		for mi, zi := range ziOf {
-			enc.zi[mi] = zi
+			m.AddConstr(terms, milp.EQ, 0, tags.num("impEqR", r))
 		}
 	} else {
-		ziOf := make(map[int]milp.Var)
 		for l := range sub.left {
-			terms := []milp.Term{}
+			terms = terms[:0]
 			for _, mi := range matchesOfL[l] {
-				zi := m.ProductBinaryCont(mv[mi].z, enc.iR[mv[mi].r], lo, hi, fmt.Sprintf("zi%d", mi))
-				ziOf[mi] = zi
+				zi := m.ProductBinaryCont(mv[mi].z, enc.iR[mv[mi].r], lo, hi, tags.num("zi", mi))
+				enc.zi[mi] = zi
 				terms = append(terms, milp.Term{Var: zi, Coef: 1})
 			}
 			terms = append(terms, milp.Term{Var: enc.iL[l], Coef: -1})
-			m.AddConstr(terms, milp.EQ, 0, fmt.Sprintf("impEqL%d", l))
-		}
-		for mi, zi := range ziOf {
-			enc.zi[mi] = zi
+			m.AddConstr(terms, milp.EQ, 0, tags.num("impEqL", l))
 		}
 	}
 	return enc
@@ -185,7 +220,8 @@ func encode(inst *Instance, sub *subProblem, p Params) *encoded {
 // keep their endpoints, unmatched tuples are deleted, grouping-side
 // impacts absorb their partners' sums. Branch-and-bound uses it as the
 // initial incumbent, so solver budgets degrade gracefully to
-// greedy-quality solutions instead of failing.
+// greedy-quality solutions instead of failing. All accumulators are slices
+// indexed by local position — no map churn per sub-problem.
 func warmStart(inst *Instance, enc *encoded) []float64 {
 	sub := enc.sub
 	x := make([]float64, enc.model.NumVars())
@@ -196,28 +232,29 @@ func warmStart(inst *Instance, enc *encoded) []float64 {
 	sort.SliceStable(order, func(a, b int) bool {
 		return sub.matches[order[a]].P > sub.matches[order[b]].P
 	})
-	degL := make(map[int]int)
-	degR := make(map[int]int)
+	degL := make([]int, len(sub.left))
+	degR := make([]int, len(sub.right))
 	selected := make([]bool, len(sub.matches))
 	for _, mi := range order {
 		mt := sub.matches[mi]
 		if mt.P < 0.5 {
 			continue
 		}
-		if inst.Card.LeftAtMostOne && degL[mt.L] >= 1 {
+		l, r := enc.posL[mt.L], enc.posR[mt.R]
+		if inst.Card.LeftAtMostOne && degL[l] >= 1 {
 			continue
 		}
-		if inst.Card.RightAtMostOne && degR[mt.R] >= 1 {
+		if inst.Card.RightAtMostOne && degR[r] >= 1 {
 			continue
 		}
 		selected[mi] = true
-		degL[mt.L]++
-		degR[mt.R]++
+		degL[l]++
+		degR[r]++
 	}
 	groupByRight := inst.Card.LeftAtMostOne
 	// Tuple variables.
 	for k, id := range sub.left {
-		if degL[id] == 0 {
+		if degL[k] == 0 {
 			x[enc.xL[k]] = 1
 			if groupByRight {
 				x[enc.iL[k]] = inst.T1.Impacts[id] // unconstrained; any in-bounds value
@@ -228,7 +265,7 @@ func warmStart(inst *Instance, enc *encoded) []float64 {
 		x[enc.iL[k]] = inst.T1.Impacts[id]
 	}
 	for k, id := range sub.right {
-		if degR[id] == 0 {
+		if degR[k] == 0 {
 			x[enc.xR[k]] = 1
 			if !groupByRight {
 				x[enc.iR[k]] = inst.T2.Impacts[id]
@@ -241,36 +278,36 @@ func warmStart(inst *Instance, enc *encoded) []float64 {
 	// Grouping-side impacts follow the selected partners' sums; flip y to
 	// 0 where the sum disagrees with the recorded impact.
 	if groupByRight {
-		sums := make(map[int]float64)
+		sums := make([]float64, len(sub.right))
 		for mi, sel := range selected {
 			if sel {
-				sums[sub.matches[mi].R] += inst.T1.Impacts[sub.matches[mi].L]
+				sums[enc.posR[sub.matches[mi].R]] += inst.T1.Impacts[sub.matches[mi].L]
 			}
 		}
 		for k, id := range sub.right {
-			if degR[id] == 0 {
+			if degR[k] == 0 {
 				x[enc.iR[k]] = 0 // pinned by the impact-equality row
 				continue
 			}
-			s := sums[id]
+			s := sums[k]
 			x[enc.iR[k]] = s
 			if math.Abs(s-inst.T2.Impacts[id]) > impactTol {
 				x[enc.yR[k]] = 0
 			}
 		}
 	} else {
-		sums := make(map[int]float64)
+		sums := make([]float64, len(sub.left))
 		for mi, sel := range selected {
 			if sel {
-				sums[sub.matches[mi].L] += inst.T2.Impacts[sub.matches[mi].R]
+				sums[enc.posL[sub.matches[mi].L]] += inst.T2.Impacts[sub.matches[mi].R]
 			}
 		}
 		for k, id := range sub.left {
-			if degL[id] == 0 {
+			if degL[k] == 0 {
 				x[enc.iL[k]] = 0
 				continue
 			}
-			s := sums[id]
+			s := sums[k]
 			x[enc.iL[k]] = s
 			if math.Abs(s-inst.T1.Impacts[id]) > impactTol {
 				x[enc.yL[k]] = 0
@@ -298,8 +335,9 @@ func warmStart(inst *Instance, enc *encoded) []float64 {
 // case) a refined impact never needs to exceed the larger of (a) any
 // original impact and (b) any grouping-side tuple's total partner impact,
 // so the big-M rows stay tight and the LP relaxation strong. Negative
-// impacts fall back to conservative symmetric bounds.
-func impactBounds(inst *Instance, sub *subProblem) (lo, hi float64) {
+// impacts fall back to conservative symmetric bounds. Partner sums
+// accumulate in a slice indexed by the grouping side's local position.
+func impactBounds(inst *Instance, sub *subProblem, posL, posR map[int]int) (lo, hi float64) {
 	maxOwn, sum := 0.0, 1.0
 	neg := false
 	for _, id := range sub.left {
@@ -326,12 +364,16 @@ func impactBounds(inst *Instance, sub *subProblem) (lo, hi float64) {
 		return -sum, sum
 	}
 	// Partner sums on the grouping side.
-	groupSum := make(map[[2]int]float64)
-	for _, m := range sub.matches {
-		if inst.Card.LeftAtMostOne {
-			groupSum[[2]int{1, m.R}] += inst.T1.Impacts[m.L]
-		} else {
-			groupSum[[2]int{0, m.L}] += inst.T2.Impacts[m.R]
+	var groupSum []float64
+	if inst.Card.LeftAtMostOne {
+		groupSum = make([]float64, len(sub.right))
+		for _, m := range sub.matches {
+			groupSum[posR[m.R]] += inst.T1.Impacts[m.L]
+		}
+	} else {
+		groupSum = make([]float64, len(sub.left))
+		for _, m := range sub.matches {
+			groupSum[posL[m.L]] += inst.T2.Impacts[m.R]
 		}
 	}
 	hi = maxOwn

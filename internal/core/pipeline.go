@@ -159,11 +159,15 @@ func InitialMapping(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Ca
 // InitialMappingWith is InitialMapping with explicit candidate-generation
 // options.
 func InitialMappingWith(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Calibrator, popt linkage.PairOptions) ([]linkage.Match, error) {
-	v1, err := virtualColumns(t1, mattr, true)
+	// One dictionary spans both comparison relations, so the two sides'
+	// token ids live in the same code space and the linkage stage's joint
+	// translation is a cached array lookup.
+	shared := relation.NewDict()
+	v1, err := virtualColumns(t1, mattr, true, shared)
 	if err != nil {
 		return nil, err
 	}
-	v2, err := virtualColumns(t2, mattr, false)
+	v2, err := virtualColumns(t2, mattr, false, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -186,16 +190,17 @@ func InitialMappingWith(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkag
 // the match covers several attributes. Exposed for baselines (R-Swoosh)
 // that score the same columns the initial mapping uses.
 func VirtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relation.Relation, error) {
-	return virtualColumns(c, mattr, left)
+	return virtualColumns(c, mattr, left, c.Rel.Dict())
 }
 
-// virtualColumns is the implementation of VirtualColumns.
-func virtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relation.Relation, error) {
+// virtualColumns is the implementation of VirtualColumns; d is the string
+// dictionary the comparison relation interns into.
+func virtualColumns(c *Canonical, mattr schemamap.Matching, left bool, d *relation.Dict) (*relation.Relation, error) {
 	names := make([]string, len(mattr))
 	for i := range mattr {
 		names[i] = fmt.Sprintf("m%d", i)
 	}
-	out := relation.New("", names...)
+	out := relation.NewWithDict(d, "", names...)
 	colIdx := make([][]int, len(mattr))
 	for i, am := range mattr {
 		attrs := am.Right
@@ -210,8 +215,10 @@ func virtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relatio
 			colIdx[i] = append(colIdx[i], j)
 		}
 	}
-	for _, row := range c.Rel.Rows {
-		rec := make(relation.Tuple, len(mattr))
+	var row relation.Tuple
+	rec := make(relation.Tuple, len(mattr))
+	for r := 0; r < c.Rel.Len(); r++ {
+		row = c.Rel.RowInto(row, r)
 		for i, cols := range colIdx {
 			if len(cols) == 1 {
 				rec[i] = row[cols[0]]
@@ -225,7 +232,7 @@ func virtualColumns(c *Canonical, mattr schemamap.Matching, left bool) (*relatio
 			}
 			rec[i] = relation.String(strings.Join(parts, " "))
 		}
-		out.Rows = append(out.Rows, rec)
+		out.AppendRow(rec)
 	}
 	return out, nil
 }

@@ -52,11 +52,11 @@ func (in *Injector) Corrupt(rel *relation.Relation, columns ...string) error {
 		if err != nil {
 			return fmt.Errorf("datagen: corrupting %s: %w", rel.Name, err)
 		}
-		for row := range rel.Rows {
+		for row := 0; row < rel.Len(); row++ {
 			if in.rng.Float64() >= in.Rate {
 				continue
 			}
-			old := rel.Rows[row][idx]
+			old := rel.At(row, idx)
 			if old.IsNull() {
 				continue
 			}
@@ -64,7 +64,7 @@ func (in *Injector) Corrupt(rel *relation.Relation, columns ...string) error {
 			if newVal.Identical(old) {
 				continue
 			}
-			rel.Rows[row][idx] = newVal
+			rel.Set(row, idx, newVal)
 			in.Errors = append(in.Errors, CellError{
 				Relation: rel.Name, Row: row, Column: col, Old: old, New: newVal,
 			})

@@ -21,7 +21,7 @@ func TestInjectorTracksErrors(t *testing.T) {
 	}
 	for _, e := range in.Errors {
 		idx := r.Schema.MustIndex(e.Column)
-		if !r.Rows[e.Row][idx].Identical(e.New) {
+		if !r.At(e.Row, idx).Identical(e.New) {
 			t.Fatalf("tracked error does not match relation state: %+v", e)
 		}
 		if e.New.Identical(e.Old) {
@@ -160,8 +160,8 @@ func TestIMDbGeneratorAndTemplates(t *testing.T) {
 	info, _ := im.DB2.Relation("MovieInfo")
 	genreRows := 0
 	typeIdx := info.Schema.MustIndex("info_type")
-	for _, row := range info.Rows {
-		if row[typeIdx].Str() == "genre" {
+	for i := 0; i < info.Len(); i++ {
+		if info.At(i, typeIdx).Str() == "genre" {
 			genreRows++
 		}
 	}
@@ -204,9 +204,9 @@ func TestIMDbDeterministic(t *testing.T) {
 	if ra.Len() != rb.Len() {
 		t.Fatal("same seed, different sizes")
 	}
-	for i := range ra.Rows {
-		for j := range ra.Rows[i] {
-			if !ra.Rows[i][j].Identical(rb.Rows[i][j]) {
+	for i := 0; i < ra.Len(); i++ {
+		for j := 0; j < ra.Schema.Len(); j++ {
+			if !ra.At(i, j).Identical(rb.At(i, j)) {
 				t.Fatalf("same seed, different cell (%d,%d)", i, j)
 			}
 		}

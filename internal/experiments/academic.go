@@ -131,13 +131,15 @@ func displayRelation(p *query.Provenance) *relation.Relation {
 		keep = append(keep, i)
 		names = append(names, col.QualifiedName())
 	}
-	out := relation.New("", names...)
-	for _, row := range p.Rel.Rows {
-		rec := make(relation.Tuple, len(keep))
+	out := relation.NewWithDict(p.Rel.Dict(), "", names...)
+	var row relation.Tuple
+	rec := make(relation.Tuple, len(keep))
+	for r := 0; r < p.Rel.Len(); r++ {
+		row = p.Rel.RowInto(row, r)
 		for k, i := range keep {
 			rec[k] = row[i]
 		}
-		out.Rows = append(out.Rows, rec)
+		out.AppendRow(rec)
 	}
 	return out
 }

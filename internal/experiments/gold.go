@@ -74,7 +74,7 @@ func canonicalEIDs(c *core.Canonical, p *query.Provenance, eidAttr string) ([][]
 	for t := 0; t < c.Len(); t++ {
 		seen := make(map[int64]bool)
 		for _, row := range c.SourceRows[t] {
-			v := p.Rel.Rows[row][idx]
+			v := p.Rel.At(row, idx)
 			if v.IsNull() {
 				continue
 			}

@@ -281,7 +281,7 @@ func TestMixedColumnSniffsWholeColumn(t *testing.T) {
 		Append(int64(456)).
 		Append("acme holdings")
 
-	lTok := tokenTables(left, []int{0})
+	lTok := tokenTables(left, left.Tuples(), []int{0})
 	if lTok[0] == nil {
 		t.Fatal("mixed column treated as numeric-only: token table missing")
 	}
@@ -311,7 +311,7 @@ func TestMixedColumnSniffsWholeColumn(t *testing.T) {
 
 	// A numeric-only column must still skip tokenization.
 	num := relation.New("N", "v").Append(int64(1)).Append(int64(2))
-	if tt := tokenTables(num, []int{0}); tt[0] != nil {
+	if tt := tokenTables(num, num.Tuples(), []int{0}); tt[0] != nil {
 		t.Fatal("numeric-only column should have no token table")
 	}
 }

@@ -45,6 +45,17 @@ func DefaultPairOptions() PairOptions {
 
 // Similarities scores candidate tuple pairs between left and right over
 // the aligned matching attribute indexes (leftIdx[i] ↔ rightIdx[i]).
+//
+// Candidate generation runs on an inverted token index: the two relations'
+// dictionary-encoded string columns are translated into one joint token-id
+// space (tokenization once per distinct string, cached in each Dict), the
+// right side's per-row token lists become posting lists (token id → row
+// ids), and each left row merges the posting lists of its tokens with a
+// shared-token counter. A pair is scored when it shares at least
+// MinSharedTokens distinct tokens — the exact match set of the pairwise
+// reference implementation (SimilaritiesPairwise), at O(Σ posting-list
+// products) instead of O(|L|·|R|) blocking probes. Jaccard runs on sorted
+// token-id slices instead of string-keyed maps.
 func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt PairOptions) ([]Match, error) {
 	if len(leftIdx) != len(rightIdx) || len(leftIdx) == 0 {
 		return nil, fmt.Errorf("linkage: need equal, non-empty attribute index lists (got %d and %d)", len(leftIdx), len(rightIdx))
@@ -52,16 +63,22 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	if opt.MinSharedTokens < 1 {
 		opt.MinSharedTokens = 1
 	}
-	// Precompute per-row token sets for string columns so scoring a pair
-	// never re-tokenizes.
-	lTok := tokenTables(left, leftIdx)
-	rTok := tokenTables(right, rightIdx)
+	// Per-row sorted token-id lists per matched column (nil column =
+	// numeric-only, numeric similarity applies), so scoring a pair never
+	// re-tokenizes and never hashes a string.
+	ts := newTokenSpace()
+	lTok := ts.tokenColumns(left, leftIdx)
+	rTok := ts.tokenColumns(right, rightIdx)
+	// Matched-column values materialized once, columnar → row-major only
+	// for the matched attributes.
+	lVals := materializeColumns(left, leftIdx)
+	rVals := materializeColumns(right, rightIdx)
 	score := func(i, j int, out []Match) []Match {
 		total := 0.0
 		for k := range leftIdx {
-			lv, rv := left.Rows[i][leftIdx[k]], right.Rows[j][rightIdx[k]]
+			lv, rv := lVals[k][i], rVals[k][j]
 			if lTok[k] != nil && rTok[k] != nil && !lv.IsNull() && !rv.IsNull() && !(lv.IsNumeric() && rv.IsNumeric()) {
-				total += JaccardTokens(lTok[k][i], rTok[k][j])
+				total += jaccardSorted(lTok[k][i], rTok[k][j])
 			} else {
 				total += ValueSim(lv, rv)
 			}
@@ -72,9 +89,8 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		}
 		return out
 	}
-	// Blocking applies when any matched column has token sets — the same
-	// whole-column sniff tokenTables just performed, so derive it from the
-	// tables instead of re-scanning the relations.
+	// Blocking applies when any matched column has token lists — the same
+	// whole-column sniff tokenColumns just performed.
 	blocked := false
 	if opt.Block {
 		for k := range lTok {
@@ -84,66 +100,56 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 			}
 		}
 	}
-	// Token blocking: inverted index over right-side tokens of the matched
-	// string attributes; a pair is scored when it shares at least
-	// MinSharedTokens distinct tokens. Without blocking (or with
-	// numeric-only matching attributes, where token blocking is
-	// meaningless) the full cross product is scored.
-	var index map[string][]int
+	n, nRight := left.Len(), right.Len()
+	// Inverted index: joint token id → posting list of right row ids, and
+	// per-left-row blocking token lists (distinct union over the matched
+	// columns). Without blocking (or with numeric-only matching attributes,
+	// where token blocking is meaningless) the full cross product is scored.
+	var post [][]int32
+	var lBlock [][]uint32
 	if blocked {
-		index = make(map[string][]int)
-		for j, row := range right.Rows {
-			seen := make(map[string]bool)
-			for k, c := range rightIdx {
-				if rTok[k] == nil || row[c].IsNull() {
-					continue
-				}
-				for tok := range rTok[k][j] {
-					if !seen[tok] {
-						seen[tok] = true
-						index[tok] = append(index[tok], j)
-					}
-				}
+		rBlock := unionRows(rTok, nRight)
+		post = make([][]int32, ts.size())
+		for j, toks := range rBlock {
+			for _, t := range toks {
+				post[t] = append(post[t], int32(j))
 			}
 		}
+		lBlock = unionRows(lTok, n)
 	}
-	scoreRow := func(i int, out []Match) []Match {
-		if !blocked {
-			for j := range right.Rows {
-				out = score(i, j, out)
-			}
-			return out
-		}
-		row := left.Rows[i]
-		cand := make(map[int]int)
-		seen := make(map[string]bool)
-		for k, c := range leftIdx {
-			if lTok[k] == nil || row[c].IsNull() {
+	minShared := int32(opt.MinSharedTokens)
+	// scoreRange scans rows [lo, hi) with worker-local candidate state: a
+	// dense shared-token counter indexed by right row id plus the list of
+	// touched rows, reset between rows — no per-row map allocation.
+	scoreRange := func(lo, hi int, cnt []int32, touched []int32, out []Match) ([]Match, []int32) {
+		for i := lo; i < hi; i++ {
+			if !blocked {
+				for j := 0; j < nRight; j++ {
+					out = score(i, j, out)
+				}
 				continue
 			}
-			for tok := range lTok[k][i] {
-				if seen[tok] {
-					continue
-				}
-				seen[tok] = true
-				for _, j := range index[tok] {
-					cand[j]++
+			touched = touched[:0]
+			for _, tok := range lBlock[i] {
+				for _, j := range post[tok] {
+					if cnt[j] == 0 {
+						touched = append(touched, j)
+					}
+					cnt[j]++
 				}
 			}
-		}
-		js := make([]int, 0, len(cand))
-		for j, shared := range cand {
-			if shared >= opt.MinSharedTokens {
-				js = append(js, j)
+			// Ascending right-row order keeps output identical to the
+			// sequential pairwise scan.
+			sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+			for _, j := range touched {
+				if cnt[j] >= minShared {
+					out = score(i, int(j), out)
+				}
+				cnt[j] = 0
 			}
 		}
-		sort.Ints(js)
-		for _, j := range js {
-			out = score(i, j, out)
-		}
-		return out
+		return out, touched
 	}
-	n := len(left.Rows)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -153,15 +159,13 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	}
 	if workers <= 1 {
 		var out []Match
-		for i := 0; i < n; i++ {
-			out = scoreRow(i, out)
-		}
+		out, _ = scoreRange(0, n, make([]int32, nRight), make([]int32, 0, 64), out)
 		return out, nil
 	}
 	// Contiguous row-range chunks scored in parallel: each chunk's matches
 	// come out in the same (i, j) order the sequential scan produces, so
 	// concatenating chunks in range order reproduces it exactly. The
-	// shared token tables and inverted index are read-only here. Chunks
+	// shared token lists and inverted index are read-only here. Chunks
 	// are much smaller than n/workers and pulled from a shared counter so
 	// candidate-count skew (dense rows clustered together) cannot
 	// serialize the scan on one worker.
@@ -177,6 +181,8 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cnt := make([]int32, nRight)
+			touched := make([]int32, 0, 64)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nChunks {
@@ -187,9 +193,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 					hi = n
 				}
 				var out []Match
-				for i := lo; i < hi; i++ {
-					out = scoreRow(i, out)
-				}
+				out, touched = scoreRange(lo, hi, cnt, touched, out)
 				blocks[c] = out
 			}
 		}()
@@ -206,38 +210,16 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	return out, nil
 }
 
-// tokenTables precomputes token sets per matched column; entry k is nil
-// when column k is numeric-only (numeric similarity is used instead). The
-// whole column is scanned: a mixed column whose first value happens to be
-// numeric (e.g. IDs followed by "N/A") still gets token similarity for its
-// string values.
-func tokenTables(r *relation.Relation, idx []int) []map[int]map[string]bool {
-	out := make([]map[int]map[string]bool, len(idx))
+// materializeColumns boxes the matched columns' values once so the scoring
+// inner loop indexes a flat slice instead of re-materializing cells.
+func materializeColumns(r *relation.Relation, idx []int) [][]relation.Value {
+	out := make([][]relation.Value, len(idx))
 	for k, c := range idx {
-		numericOnly := true
-		for _, row := range r.Rows {
-			v := row[c]
-			if !v.IsNull() && !v.IsNumeric() {
-				numericOnly = false
-				break
-			}
+		vals := make([]relation.Value, r.Len())
+		for i := range vals {
+			vals[i] = r.At(i, c)
 		}
-		if numericOnly {
-			continue
-		}
-		tbl := make(map[int]map[string]bool, len(r.Rows))
-		for i, row := range r.Rows {
-			v := row[c]
-			if v.IsNull() {
-				continue
-			}
-			// Numeric rows of a mixed column are tokenized by their
-			// canonical value string, so blocking can still surface
-			// numeric↔numeric candidates (which score() then compares with
-			// numeric similarity, not Jaccard).
-			tbl[i] = TokenSet(v.String())
-		}
-		out[k] = tbl
+		out[k] = vals
 	}
 	return out
 }

@@ -60,11 +60,14 @@ func RSwoosh(left, right *relation.Relation, leftIdx, rightIdx []int, threshold 
 	}
 	// R holds unprocessed records, Rp ("R prime") the resolved set.
 	var r []*swooshRecord
-	for i, row := range left.Rows {
-		r = append(r, newSwooshRecord(row, leftIdx, i, true))
+	var buf relation.Tuple
+	for i := 0; i < left.Len(); i++ {
+		buf = left.RowInto(buf, i)
+		r = append(r, newSwooshRecord(buf, leftIdx, i, true))
 	}
-	for j, row := range right.Rows {
-		r = append(r, newSwooshRecord(row, rightIdx, j, false))
+	for j := 0; j < right.Len(); j++ {
+		buf = right.RowInto(buf, j)
+		r = append(r, newSwooshRecord(buf, rightIdx, j, false))
 	}
 	var rp []*swooshRecord
 	for len(r) > 0 {

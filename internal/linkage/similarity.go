@@ -8,18 +8,13 @@
 package linkage
 
 import (
-	"strings"
-	"unicode"
-
 	"explain3d/internal/relation"
 )
 
-// Tokenize lower-cases and splits a string on non-alphanumeric runes.
-func Tokenize(s string) []string {
-	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
-	})
-}
+// Tokenize lower-cases and splits a string on non-alphanumeric runes. The
+// implementation lives in the relation package so interned strings can
+// cache their token ids; this re-export keeps the linkage API stable.
+func Tokenize(s string) []string { return relation.Tokenize(s) }
 
 // TokenSet builds the token set of a string.
 func TokenSet(s string) map[string]bool {
@@ -53,6 +48,31 @@ func JaccardTokens(a, b map[string]bool) float64 {
 // StringSim is token-wise Jaccard similarity between two strings.
 func StringSim(a, b string) float64 {
 	return JaccardTokens(TokenSet(a), TokenSet(b))
+}
+
+// jaccardSorted computes |A∩B| / |A∪B| over two sorted distinct token-id
+// slices by a linear merge — no hashing, no allocation. It is the columnar
+// counterpart of JaccardTokens and produces bit-identical similarities (the
+// intersection and union counts are the same integers).
+func jaccardSorted(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
 }
 
 // NumericSim is the paper's normalized Euclidean similarity

@@ -271,10 +271,10 @@ func (ev *evaluator) evalIn(x *sqlparse.InExpr, sch *relation.Schema, row relati
 			if subRel.Schema.Len() != 1 {
 				return false, fmt.Errorf("query: IN subquery must return one column, got %d", subRel.Schema.Len())
 			}
-			set = make(map[string]bool, len(subRel.Rows))
-			for _, r := range subRel.Rows {
-				if !r[0].IsNull() {
-					set[r[0].Key()] = true
+			set = make(map[string]bool, subRel.Len())
+			for i := 0; i < subRel.Len(); i++ {
+				if v := subRel.At(i, 0); !v.IsNull() {
+					set[v.Key()] = true
 				}
 			}
 			ev.subCache[x] = set

@@ -28,10 +28,10 @@ func RunScalar(sel *sqlparse.Select, db *relation.Database) (relation.Value, err
 	if err != nil {
 		return relation.Null(), err
 	}
-	if len(res.Rows) != 1 || res.Schema.Len() < 1 {
-		return relation.Null(), fmt.Errorf("query: aggregate query returned %d rows", len(res.Rows))
+	if res.Len() != 1 || res.Schema.Len() < 1 {
+		return relation.Null(), fmt.Errorf("query: aggregate query returned %d rows", res.Len())
 	}
-	return res.Rows[0][0], nil
+	return res.At(0, 0), nil
 }
 
 // buildSource materializes σ_c(X): the joined FROM sources with the WHERE
@@ -129,36 +129,33 @@ func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*rel
 		}
 		rel = base
 	}
-	out := &relation.Relation{
-		Name:   ref.Alias,
-		Schema: rel.Schema.WithQualifier(ref.Alias),
-		Rows:   rel.Rows, // rows are never mutated by evaluation
-	}
-	return out, nil
+	// Zero-copy requalification: the view shares the base relation's column
+	// storage (rows are never mutated by evaluation).
+	return rel.WithSchema(ref.Alias, rel.Schema.WithQualifier(ref.Alias)), nil
 }
 
 func filter(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) (*relation.Relation, error) {
-	out := &relation.Relation{Name: r.Name, Schema: r.Schema}
-	for _, row := range r.Rows {
-		ok, err := ev.evalPred(pred, r.Schema, row)
+	var keep []int
+	var buf relation.Tuple
+	for i := 0; i < r.Len(); i++ {
+		buf = r.RowInto(buf, i)
+		ok, err := ev.evalPred(pred, r.Schema, buf)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			out.Rows = append(out.Rows, row)
+			keep = append(keep, i)
 		}
 	}
-	return out, nil
+	// Select copies typed column segments directly — no re-interning.
+	return r.Select(keep), nil
 }
 
 // join combines two relations under the given conditions. Equality
 // conditions between one column on each side drive a hash join; the rest
 // are applied as a post-filter on candidate pairs.
 func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) (*relation.Relation, error) {
-	out := &relation.Relation{
-		Name:   left.Name + "⋈" + right.Name,
-		Schema: left.Schema.Concat(right.Schema),
-	}
+	out := relation.NewFromSchema(left.Name+"⋈"+right.Name, left.Schema.Concat(right.Schema), left.Dict())
 	var hashL, hashR []int
 	var rest []sqlparse.Expr
 	for _, c := range conds {
@@ -187,20 +184,26 @@ func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) 
 				return false, nil
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		out.AppendRow(row)
 		return true, nil
 	}
+	// Right-side tuples are retained (in the hash index and across the
+	// probe loop) and are materialized once; left rows are copied into the
+	// combined row immediately, so one reused buffer serves the probe side.
+	rightRows := right.Tuples()
+	var l relation.Tuple
 	if len(hashL) > 0 {
 		// Hash join on the equality columns; NULL keys never match.
-		index := make(map[string][]relation.Tuple, len(right.Rows))
-		for _, r := range right.Rows {
+		index := make(map[string][]relation.Tuple, len(rightRows))
+		for _, r := range rightRows {
 			if hasNull(r, hashR) {
 				continue
 			}
 			k := r.Key(hashR)
 			index[k] = append(index[k], r)
 		}
-		for _, l := range left.Rows {
+		for i := 0; i < left.Len(); i++ {
+			l = left.RowInto(l, i)
 			if hasNull(l, hashL) {
 				continue
 			}
@@ -213,8 +216,9 @@ func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) 
 		return out, nil
 	}
 	// Cross product fallback.
-	for _, l := range left.Rows {
-		for _, r := range right.Rows {
+	for i := 0; i < left.Len(); i++ {
+		l = left.RowInto(l, i)
+		for _, r := range rightRows {
 			if _, err := emit(l, r); err != nil {
 				return nil, err
 			}
@@ -295,14 +299,16 @@ func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	for i, it := range sel.Items {
 		names[i] = itemName(it, i)
 	}
-	out := relation.New("", names...)
+	out := relation.NewWithDict(src.Dict(), "", names...)
 	seen := make(map[string]bool)
 	keyIdx := make([]int, len(sel.Items))
 	for i := range keyIdx {
 		keyIdx[i] = i
 	}
-	for _, row := range src.Rows {
-		rec := make(relation.Tuple, len(sel.Items))
+	var row relation.Tuple
+	rec := make(relation.Tuple, len(sel.Items))
+	for r := 0; r < src.Len(); r++ {
+		row = src.RowInto(row, r)
 		for i, it := range sel.Items {
 			v, err := ev.evalScalar(it.Expr, src.Schema, row)
 			if err != nil {
@@ -317,7 +323,7 @@ func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 			}
 			seen[k] = true
 		}
-		out.Rows = append(out.Rows, rec)
+		out.AppendRow(rec)
 	}
 	return out, nil
 }
@@ -406,7 +412,9 @@ func aggregateProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relatio
 		names[i] = itemName(it, i)
 		states[i] = newAggState(it.Agg)
 	}
-	for _, row := range src.Rows {
+	var row relation.Tuple
+	for r := 0; r < src.Len(); r++ {
+		row = src.RowInto(row, r)
 		for i, it := range sel.Items {
 			var v relation.Value
 			if it.Star {
@@ -423,12 +431,12 @@ func aggregateProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relatio
 			}
 		}
 	}
-	out := relation.New("", names...)
+	out := relation.NewWithDict(src.Dict(), "", names...)
 	rec := make(relation.Tuple, len(states))
 	for i, st := range states {
 		rec[i] = st.result()
 	}
-	out.Rows = append(out.Rows, rec)
+	out.AppendRow(rec)
 	return out, nil
 }
 
@@ -470,11 +478,15 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	}
 	groups := make(map[string]*group)
 	var order []string
-	for _, row := range src.Rows {
+	var row relation.Tuple
+	for r := 0; r < src.Len(); r++ {
+		row = src.RowInto(row, r)
 		k := row.Key(gIdx)
 		g, ok := groups[k]
 		if !ok {
-			g = &group{first: row, states: make([]*aggState, len(sel.Items))}
+			// Only each group's first row is retained — clone it out of the
+			// reused buffer.
+			g = &group{first: row.Clone(), states: make([]*aggState, len(sel.Items))}
 			for i, it := range sel.Items {
 				if it.Agg != sqlparse.AggNone {
 					g.states[i] = newAggState(it.Agg)
@@ -506,10 +518,10 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	for i, it := range sel.Items {
 		names[i] = itemName(it, i)
 	}
-	out := relation.New("", names...)
+	out := relation.NewWithDict(src.Dict(), "", names...)
+	rec := make(relation.Tuple, len(sel.Items))
 	for _, k := range order {
 		g := groups[k]
-		rec := make(relation.Tuple, len(sel.Items))
 		for i, it := range sel.Items {
 			if it.Agg != sqlparse.AggNone {
 				rec[i] = g.states[i].result()
@@ -521,7 +533,7 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 			}
 			rec[i] = v
 		}
-		out.Rows = append(out.Rows, rec)
+		out.AppendRow(rec)
 	}
 	return out, nil
 }

@@ -53,11 +53,11 @@ func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 		}
 	}
 
-	p := &relation.Relation{
-		Name:   "P",
-		Schema: src.Schema.Concat(relation.NewSchema(ImpactColumn)),
-	}
-	for _, row := range src.Rows {
+	p := relation.NewFromSchema("P", src.Schema.Concat(relation.NewSchema(ImpactColumn)), src.Dict())
+	var row relation.Tuple
+	rec := make(relation.Tuple, src.Schema.Len()+1)
+	for r := 0; r < src.Len(); r++ {
+		row = src.RowInto(row, r)
 		var impact relation.Value
 		switch {
 		case aggItem == nil, aggItem.Star, agg == sqlparse.AggCount && aggItem.Star:
@@ -79,10 +79,10 @@ func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 				impact = v
 			}
 		}
-		rec := make(relation.Tuple, 0, len(row)+1)
+		rec = rec[:0]
 		rec = append(rec, row...)
 		rec = append(rec, impact)
-		p.Rows = append(p.Rows, rec)
+		p.AppendRow(rec)
 	}
 
 	prov := &Provenance{Query: sel, Agg: agg, Rel: p}
@@ -97,7 +97,7 @@ func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 		if err != nil {
 			return nil, err
 		}
-		prov.Result = relation.Int(int64(len(res.Rows)))
+		prov.Result = relation.Int(int64(res.Len()))
 	}
 	return prov, nil
 }
@@ -107,8 +107,8 @@ func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 func (p *Provenance) TotalImpact() float64 {
 	idx := p.Rel.Schema.MustIndex(ImpactColumn)
 	total := 0.0
-	for _, row := range p.Rel.Rows {
-		if f, ok := row[idx].AsFloat(); ok {
+	for i := 0; i < p.Rel.Len(); i++ {
+		if f, ok := p.Rel.At(i, idx).AsFloat(); ok {
 			total += f
 		}
 	}

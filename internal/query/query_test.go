@@ -100,9 +100,9 @@ func TestProvenanceFigure1(t *testing.T) {
 	// Impacts follow Num_bach: 2, 2, 1.
 	iIdx := p3.Rel.Schema.MustIndex(ImpactColumn)
 	want := []int64{2, 2, 1}
-	for i, row := range p3.Rel.Rows {
-		if row[iIdx].IntVal() != want[i] {
-			t.Errorf("impact[%d] = %v, want %d", i, row[iIdx], want[i])
+	for i := 0; i < p3.Rel.Len(); i++ {
+		if p3.Rel.At(i, iIdx).IntVal() != want[i] {
+			t.Errorf("impact[%d] = %v, want %d", i, p3.Rel.At(i, iIdx), want[i])
 		}
 	}
 }
@@ -200,11 +200,11 @@ func TestGroupBy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 6 {
-		t.Fatalf("groups = %d, want 6", len(res.Rows))
+	if res.Len() != 6 {
+		t.Fatalf("groups = %d, want 6", res.Len())
 	}
 	byName := map[string]int64{}
-	for _, row := range res.Rows {
+	for _, row := range res.Tuples() {
 		byName[row[0].Str()] = row[1].IntVal()
 	}
 	if byName["CS"] != 2 || byName["Design"] != 1 {
@@ -218,8 +218,8 @@ func TestDistinct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 6 {
-		t.Fatalf("distinct rows = %d, want 6", len(res.Rows))
+	if res.Len() != 6 {
+		t.Fatalf("distinct rows = %d, want 6", res.Len())
 	}
 }
 
@@ -230,15 +230,15 @@ func TestInSubquery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Len())
 	}
 	resNeg, err := Run(sqlparse.MustParse(
 		`SELECT Program FROM Stats WHERE ID NOT IN (SELECT ID FROM School WHERE City = 'Amherst')`), db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(resNeg.Rows) != 1 || resNeg.Rows[0][0].Str() != "History" {
+	if resNeg.Len() != 1 || resNeg.At(0, 0).Str() != "History" {
 		t.Fatalf("NOT IN rows = %v", resNeg)
 	}
 }

@@ -1,0 +1,200 @@
+package relation
+
+// column stores one attribute of a relation columnar-ly: a typed array
+// ([]int64, []float64, []bool, or dictionary codes for strings) plus a null
+// bitmap. A column whose cells disagree on kind falls back to a boxed
+// []Value representation — heterogeneous columns are legal (CSV import
+// infers kinds per cell) but rare, and the fallback keeps exact per-cell
+// kind fidelity so query semantics are unchanged.
+type column struct {
+	kind   Kind     // physical kind of the typed array; KindNull while every cell is NULL
+	nulls  []uint64 // null bitmap, bit set = NULL
+	ints   []int64
+	floats []float64
+	bools  []bool
+	codes  []uint32 // dict codes for KindString
+	mixed  []Value  // non-nil: heterogeneous fallback, the source of truth
+}
+
+func bitGet(words []uint64, i int) bool { return words[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(words []uint64, i int)      { words[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(words []uint64, i int)    { words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// append adds v at position n (the column's current length).
+func (c *column) append(d *Dict, n int, v Value) {
+	if c.mixed != nil {
+		c.mixed = append(c.mixed, v)
+		return
+	}
+	if n&63 == 0 {
+		c.nulls = append(c.nulls, 0)
+	}
+	if v.kind == KindNull {
+		bitSet(c.nulls, n)
+		c.pad(1)
+		return
+	}
+	if c.kind == KindNull {
+		// First non-null cell fixes the physical kind; backfill the data
+		// array for the all-NULL prefix so positions stay aligned.
+		c.kind = v.kind
+		c.pad(n)
+	}
+	if v.kind != c.kind {
+		c.promote(d, n)
+		c.mixed = append(c.mixed, v)
+		return
+	}
+	switch c.kind {
+	case KindInt:
+		c.ints = append(c.ints, v.i)
+	case KindFloat:
+		c.floats = append(c.floats, v.f)
+	case KindBool:
+		c.bools = append(c.bools, v.b)
+	case KindString:
+		c.codes = append(c.codes, d.Intern(v.s))
+	}
+}
+
+// pad appends k zero cells to the typed array (their null bits mask them).
+func (c *column) pad(k int) {
+	switch c.kind {
+	case KindInt:
+		for i := 0; i < k; i++ {
+			c.ints = append(c.ints, 0)
+		}
+	case KindFloat:
+		for i := 0; i < k; i++ {
+			c.floats = append(c.floats, 0)
+		}
+	case KindBool:
+		for i := 0; i < k; i++ {
+			c.bools = append(c.bools, false)
+		}
+	case KindString:
+		for i := 0; i < k; i++ {
+			c.codes = append(c.codes, 0)
+		}
+	}
+}
+
+// promote converts the first n cells into the boxed fallback.
+func (c *column) promote(d *Dict, n int) {
+	vals := make([]Value, n)
+	for i := 0; i < n; i++ {
+		vals[i] = c.get(d, i)
+	}
+	c.mixed = vals
+	c.kind = KindNull
+	c.nulls, c.ints, c.floats, c.bools, c.codes = nil, nil, nil, nil, nil
+}
+
+// get reads the cell at position i.
+func (c *column) get(d *Dict, i int) Value {
+	if c.mixed != nil {
+		return c.mixed[i]
+	}
+	if bitGet(c.nulls, i) {
+		return Value{}
+	}
+	switch c.kind {
+	case KindInt:
+		return Value{kind: KindInt, i: c.ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: c.floats[i]}
+	case KindBool:
+		return Value{kind: KindBool, b: c.bools[i]}
+	case KindString:
+		return Value{kind: KindString, s: d.String(c.codes[i])}
+	}
+	return Value{}
+}
+
+// set overwrites the cell at position i; n is the column's length.
+func (c *column) set(d *Dict, i, n int, v Value) {
+	if c.mixed != nil {
+		c.mixed[i] = v
+		return
+	}
+	if v.kind == KindNull {
+		bitSet(c.nulls, i) // stale typed payload is masked by the bit
+		return
+	}
+	if c.kind == KindNull {
+		c.kind = v.kind
+		c.pad(n)
+	}
+	if v.kind != c.kind {
+		c.promote(d, n)
+		c.mixed[i] = v
+		return
+	}
+	bitClear(c.nulls, i)
+	switch c.kind {
+	case KindInt:
+		c.ints[i] = v.i
+	case KindFloat:
+		c.floats[i] = v.f
+	case KindBool:
+		c.bools[i] = v.b
+	case KindString:
+		c.codes[i] = d.Intern(v.s)
+	}
+}
+
+// clone deep-copies the column (dict codes stay valid: dicts are shared).
+func (c *column) clone() *column {
+	out := &column{kind: c.kind}
+	out.nulls = append([]uint64(nil), c.nulls...)
+	out.ints = append([]int64(nil), c.ints...)
+	out.floats = append([]float64(nil), c.floats...)
+	out.bools = append([]bool(nil), c.bools...)
+	out.codes = append([]uint32(nil), c.codes...)
+	if c.mixed != nil {
+		out.mixed = make([]Value, len(c.mixed))
+		copy(out.mixed, c.mixed)
+	}
+	return out
+}
+
+// gather builds a new column holding the given row positions, in order.
+// Typed payloads and dict codes copy directly — no Value boxing and no
+// re-interning.
+func (c *column) gather(rows []int) *column {
+	if c.mixed != nil {
+		out := &column{mixed: make([]Value, len(rows))}
+		for k, i := range rows {
+			out.mixed[k] = c.mixed[i]
+		}
+		return out
+	}
+	out := &column{kind: c.kind, nulls: make([]uint64, (len(rows)+63)/64)}
+	switch c.kind {
+	case KindInt:
+		out.ints = make([]int64, len(rows))
+	case KindFloat:
+		out.floats = make([]float64, len(rows))
+	case KindBool:
+		out.bools = make([]bool, len(rows))
+	case KindString:
+		out.codes = make([]uint32, len(rows))
+	}
+	for k, i := range rows {
+		if bitGet(c.nulls, i) {
+			bitSet(out.nulls, k)
+			continue
+		}
+		switch c.kind {
+		case KindInt:
+			out.ints[k] = c.ints[i]
+		case KindFloat:
+			out.floats[k] = c.floats[i]
+		case KindBool:
+			out.bools[k] = c.bools[i]
+		case KindString:
+			out.codes[k] = c.codes[i]
+		}
+	}
+	return out
+}

@@ -10,16 +10,27 @@ import (
 )
 
 // ReadCSV loads a relation from CSV. The first record is the header; values
-// are type-inferred with ParseValue. The relation name qualifies bare header
-// names.
+// are type-inferred with ParseValue, routed through the relation's string
+// dictionary so a column of overwhelmingly repeated values parses and
+// allocates once per distinct string, not once per row. The relation name
+// qualifies bare header names.
 func ReadCSV(name string, r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
+	// The record buffer is reused across rows; every string that outlives
+	// the row (header names, parsed cells) is cloned by its consumer.
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header for %s: %w", name, err)
 	}
+	header := make([]string, len(hdr))
+	for i, h := range hdr {
+		header[i] = strings.Clone(h)
+	}
 	rel := New(name, header...)
+	dict := rel.Dict()
+	buf := make(Tuple, len(header))
 	// row counts 1-based data rows (the header is row 0); both error paths
 	// below report the same physical row under the same number.
 	row := 0
@@ -35,11 +46,10 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("relation: CSV row %d for %s has %d fields, want %d", row, name, len(rec), len(header))
 		}
-		rowT := make(Tuple, len(rec))
 		for i, cell := range rec {
-			rowT[i] = ParseValue(cell)
+			buf[i] = dict.ParseValue(cell)
 		}
-		rel.Rows = append(rel.Rows, rowT)
+		rel.AppendRow(buf)
 	}
 	return rel, nil
 }
@@ -69,9 +79,11 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 		return err
 	}
 	rec := make([]string, r.Schema.Len())
-	for _, row := range r.Rows {
-		for i, v := range row {
-			rec[i] = v.String()
+	var buf Tuple
+	for i := 0; i < r.Len(); i++ {
+		buf = r.RowInto(buf, i)
+		for j, v := range buf {
+			rec[j] = v.String()
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

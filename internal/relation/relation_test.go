@@ -72,9 +72,12 @@ func TestRelationAppendAndColumn(t *testing.T) {
 func TestRelationClone(t *testing.T) {
 	r := sample()
 	c := r.Clone()
-	c.Rows[0][0] = String("mutated")
-	if r.Rows[0][0].Str() != "Accounting" {
-		t.Fatal("Clone must deep-copy rows")
+	c.Set(0, 0, String("mutated"))
+	if r.At(0, 0).Str() != "Accounting" {
+		t.Fatal("Clone must deep-copy storage")
+	}
+	if c.At(0, 0).Str() != "mutated" {
+		t.Fatal("Set on the clone must stick")
 	}
 }
 
@@ -109,10 +112,10 @@ func TestCSVRoundTrip(t *testing.T) {
 	if got.Len() != r.Len() {
 		t.Fatalf("round trip rows = %d, want %d", got.Len(), r.Len())
 	}
-	for i := range r.Rows {
-		for j := range r.Rows[i] {
-			if !got.Rows[i][j].Identical(r.Rows[i][j]) {
-				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got.Rows[i][j], r.Rows[i][j])
+	for i := 0; i < r.Len(); i++ {
+		for j := 0; j < r.Schema.Len(); j++ {
+			if !got.At(i, j).Identical(r.At(i, j)) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got.At(i, j), r.At(i, j))
 			}
 		}
 	}
@@ -124,10 +127,10 @@ func TestCSVTypeInference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Rows[0][0].Kind() != KindInt || r.Rows[0][1].Kind() != KindFloat || r.Rows[0][2].Kind() != KindString {
-		t.Fatalf("kinds = %v %v %v", r.Rows[0][0].Kind(), r.Rows[0][1].Kind(), r.Rows[0][2].Kind())
+	if r.At(0, 0).Kind() != KindInt || r.At(0, 1).Kind() != KindFloat || r.At(0, 2).Kind() != KindString {
+		t.Fatalf("kinds = %v %v %v", r.At(0, 0).Kind(), r.At(0, 1).Kind(), r.At(0, 2).Kind())
 	}
-	if !r.Rows[1][1].IsNull() {
+	if !r.At(1, 1).IsNull() {
 		t.Fatal("empty cell should be NULL")
 	}
 }

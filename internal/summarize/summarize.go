@@ -109,10 +109,11 @@ func Summarize(rel *relation.Relation, targets []bool, opt Options) []*Pattern {
 			cands[k] = &Pattern{Attrs: attrs, Values: vals}
 		}
 	}
-	for i, row := range rel.Rows {
+	for i := 0; i < rel.Len(); i++ {
 		if !targets[i] {
 			continue
 		}
+		row := rel.Row(i)
 		// Depth 1 and 2 combinations (and deeper if configured).
 		var combos func(start int, chosen []int)
 		combos = func(start int, chosen []int) {
@@ -138,9 +139,10 @@ func Summarize(rel *relation.Relation, targets []bool, opt Options) []*Pattern {
 		falsePos int
 	}
 	var pool []*scored
+	rows := rel.Tuples()
 	for _, p := range cands {
 		s := &scored{p: p}
-		for i, row := range rel.Rows {
+		for i, row := range rows {
 			if !p.Matches(row) {
 				continue
 			}

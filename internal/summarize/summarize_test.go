@@ -50,7 +50,7 @@ func TestSummarizeFindsCommonPattern(t *testing.T) {
 	// Cover is total.
 	covered := make([]bool, r.Len())
 	for _, p := range pats {
-		for i, row := range r.Rows {
+		for i, row := range r.Tuples() {
 			if p.Matches(row) {
 				covered[i] = true
 			}
