@@ -82,30 +82,63 @@ func Canonicalize(p *query.Provenance, attrs []string) (*Canonical, error) {
 		out.MatchIdx = append(out.MatchIdx, i)
 	}
 
+	// Grouping keys on packed (kind, code/bits) cell keys extracted once per
+	// matching-attribute column — no canonical key strings, no Tuple
+	// materialization. Display Keys render from the row values exactly as
+	// before.
 	strict := strictAggregate(p.Agg)
-	groups := make(map[string]int)
-	var row relation.Tuple
+	keys := make([][]relation.CellKey, len(idx))
+	for c, j := range idx {
+		keys[c] = p.Rel.ColumnCellKeys(nil, j, p.Rel.Dict())
+	}
+	accs := make([]func(int) relation.Value, len(idx))
+	for c, j := range idx {
+		accs[c] = p.Rel.Accessor(j)
+	}
+	impactAcc := p.Rel.Accessor(impactIdx)
+	// buckets maps a key hash to group ids; candidates verify their packed
+	// keys exactly against the group's first source row.
+	var buckets map[uint64][]int32
+	if !strict {
+		hint := p.Rel.Len()
+		if hint > 256 {
+			hint = 256 // canonical groups are usually far fewer than rows
+		}
+		buckets = make(map[uint64][]int32, hint)
+	}
+	var firstRows []int32
 	rec := make(relation.Tuple, 0, len(idx)+1)
 	for rowID := 0; rowID < p.Rel.Len(); rowID++ {
-		row = p.Rel.RowInto(row, rowID)
-		impact, ok := row[impactIdx].AsFloat()
+		iv := impactAcc(rowID)
+		impact, ok := iv.AsFloat()
 		if !ok {
-			return nil, fmt.Errorf("core: non-numeric impact %v in provenance row %d", row[impactIdx], rowID)
+			return nil, fmt.Errorf("core: non-numeric impact %v in provenance row %d", iv, rowID)
 		}
-		key := row.Key(idx)
-		if strict {
-			// Strict aggregates keep every provenance tuple distinct.
-			key = fmt.Sprintf("%s\x00#%d", key, rowID)
+		gi := -1
+		var h uint64
+		if !strict {
+			// Strict aggregates keep every provenance tuple distinct and
+			// skip the map entirely.
+			h = relation.HashRow(keys, rowID)
+			for _, cand := range buckets[h] {
+				if relation.RowKeysEqual(keys, rowID, keys, int(firstRows[cand])) {
+					gi = int(cand)
+					break
+				}
+			}
 		}
-		gi, exists := groups[key]
-		if !exists {
+		if gi < 0 {
 			gi = out.Len()
-			groups[key] = gi
+			if !strict {
+				buckets[h] = append(buckets[h], int32(gi))
+			}
+			firstRows = append(firstRows, int32(rowID))
 			rec = rec[:0]
 			var keyParts []string
-			for _, c := range idx {
-				rec = append(rec, row[c])
-				keyParts = append(keyParts, row[c].String())
+			for c := range idx {
+				v := accs[c](rowID)
+				rec = append(rec, v)
+				keyParts = append(keyParts, v.String())
 			}
 			rec = append(rec, relation.Float(impact))
 			out.Rel.AppendRow(rec)

@@ -80,10 +80,12 @@ func TestSimilaritiesMatchesPairwiseReference(t *testing.T) {
 		for j := range idx {
 			idx[j] = j
 		}
+		// MinSharedTokens up to 3 exercises the skipped-posting-list path
+		// (stop-word pruning plus exact candidate verification).
 		opt := PairOptions{
 			MinSim:          []float64{0, 0.05, 0.3}[rng.Intn(3)],
 			Block:           rng.Intn(4) != 0,
-			MinSharedTokens: 1 + rng.Intn(2),
+			MinSharedTokens: 1 + rng.Intn(3),
 		}
 		want, err := SimilaritiesPairwise(left, right, idx, idx, opt)
 		if err != nil {
@@ -96,6 +98,46 @@ func TestSimilaritiesMatchesPairwiseReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			matchesEqual(t, fmt.Sprintf("trial %d workers %d (block=%v shared=%v)", trial, workers, opt.Block, d != nil), got, want)
+		}
+	}
+}
+
+// TestSimilaritiesStopWordPruning forces the skipped-posting-list path: a
+// stop word appears in every row of both sides, so with MinSharedTokens > 1
+// its posting list is dropped and borderline candidates (pairs that share
+// only the stop word plus one more token) must survive through the exact
+// shared-count verification — byte-identically to the pairwise reference.
+func TestSimilaritiesStopWordPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	build := func(name string, rows int) *relation.Relation {
+		r := relation.New(name, "c0")
+		for i := 0; i < rows; i++ {
+			s := "the " + vocab[rng.Intn(len(vocab))]
+			if rng.Intn(3) == 0 {
+				s += " " + vocab[rng.Intn(len(vocab))]
+			}
+			r.Append(s)
+		}
+		return r
+	}
+	left, right := build("L", 40), build("R", 40)
+	for _, minShared := range []int{2, 3} {
+		opt := PairOptions{MinSim: 0, Block: true, MinSharedTokens: minShared}
+		want, err := SimilaritiesPairwise(left, right, []int{0}, []int{0}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("minShared=%d: degenerate workload, no reference matches", minShared)
+		}
+		for _, workers := range []int{1, 4} {
+			opt.Workers = workers
+			got, err := Similarities(left, right, []int{0}, []int{0}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("stop-word minShared=%d workers=%d", minShared, workers), got, want)
 		}
 	}
 }

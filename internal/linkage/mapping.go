@@ -65,14 +65,25 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	}
 	// Per-row sorted token-id lists per matched column (nil column =
 	// numeric-only, numeric similarity applies), so scoring a pair never
-	// re-tokenizes and never hashes a string.
+	// re-tokenizes and never hashes a string. The two sides build
+	// concurrently: each owns its dictionary-translation cache, and only
+	// the joint token-id intern is shared (mutex-guarded; match output is
+	// invariant under id relabeling).
 	ts := newTokenSpace()
-	lTok := ts.tokenColumns(left, leftIdx)
-	rTok := ts.tokenColumns(right, rightIdx)
+	var lTok, rTok [][][]uint32
+	var lVals, rVals [][]relation.Value
+	var sides sync.WaitGroup
+	sides.Add(1)
+	go func() {
+		defer sides.Done()
+		rTok = ts.tokenColumns(right, rightIdx)
+		rVals = materializeColumns(right, rightIdx)
+	}()
+	lTok = ts.tokenColumns(left, leftIdx)
 	// Matched-column values materialized once, columnar → row-major only
 	// for the matched attributes.
-	lVals := materializeColumns(left, leftIdx)
-	rVals := materializeColumns(right, rightIdx)
+	lVals = materializeColumns(left, leftIdx)
+	sides.Wait()
 	score := func(i, j int, out []Match) []Match {
 		total := 0.0
 		for k := range leftIdx {
@@ -102,13 +113,15 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	}
 	n, nRight := left.Len(), right.Len()
 	// Inverted index: joint token id → posting list of right row ids, and
-	// per-left-row blocking token lists (distinct union over the matched
+	// per-row blocking token lists (distinct union over the matched
 	// columns). Without blocking (or with numeric-only matching attributes,
 	// where token blocking is meaningless) the full cross product is scored.
 	var post [][]int32
-	var lBlock [][]uint32
+	var lBlock, rBlock [][]uint32
+	var skipped []bool
+	anySkipped := false
 	if blocked {
-		rBlock := unionRows(rTok, nRight)
+		rBlock = unionRows(rTok, nRight)
 		post = make([][]int32, ts.size())
 		for j, toks := range rBlock {
 			for _, t := range toks {
@@ -116,6 +129,32 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 			}
 		}
 		lBlock = unionRows(lTok, n)
+		// Stop-word pruning: a single token cannot satisfy
+		// MinSharedTokens > 1 alone, so up to MinSharedTokens-1 posting
+		// lists — the longest, typically stop-word-frequency tokens that
+		// dominate candidate-merge cost — can be dropped entirely. Every
+		// qualifying pair still shares at least one surviving token, so
+		// candidate discovery stays complete; borderline candidates verify
+		// their exact shared-token count against the full per-row token
+		// lists below.
+		if opt.MinSharedTokens > 1 {
+			const skipFloor = 4 // shorter lists are not worth a verify pass
+			skipped = make([]bool, len(post))
+			for s := 0; s < opt.MinSharedTokens-1; s++ {
+				best, bestLen := -1, skipFloor-1
+				for t, p := range post {
+					if !skipped[t] && len(p) > bestLen {
+						best, bestLen = t, len(p)
+					}
+				}
+				if best < 0 {
+					break
+				}
+				skipped[best] = true
+				post[best] = nil
+				anySkipped = true
+			}
+		}
 	}
 	minShared := int32(opt.MinSharedTokens)
 	// scoreRange scans rows [lo, hi) with worker-local candidate state: a
@@ -138,11 +177,27 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 					cnt[j]++
 				}
 			}
+			// With skipped posting lists the counter undercounts by at most
+			// the number of skipped tokens this row carries; candidates in
+			// the uncertain band prove their real shared count by merging
+			// the two full token lists.
+			thresh := minShared
+			if anySkipped {
+				for _, tok := range lBlock[i] {
+					if skipped[tok] {
+						thresh--
+					}
+				}
+				if thresh < 1 {
+					thresh = 1
+				}
+			}
 			// Ascending right-row order keeps output identical to the
 			// sequential pairwise scan.
 			sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
 			for _, j := range touched {
-				if cnt[j] >= minShared {
+				if cnt[j] >= thresh &&
+					(cnt[j] >= minShared || sharedAtLeast(lBlock[i], rBlock[j], int(minShared))) {
 					out = score(i, int(j), out)
 				}
 				cnt[j] = 0

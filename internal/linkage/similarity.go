@@ -75,6 +75,33 @@ func jaccardSorted(a, b []uint32) float64 {
 	return float64(inter) / float64(union)
 }
 
+// sharedAtLeast reports whether two sorted distinct token-id slices share
+// at least m elements, bailing out as soon as the answer is known. It backs
+// the exact verification of blocking candidates discovered with skipped
+// (stop-word-frequency) posting lists.
+func sharedAtLeast(a, b []uint32, m int) bool {
+	if m <= 0 {
+		return true
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			if inter >= m {
+				return true
+			}
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
 // NumericSim is the paper's normalized Euclidean similarity
 // 1 / (1 + |a−b|²).
 func NumericSim(a, b float64) float64 {

@@ -2,6 +2,7 @@ package linkage
 
 import (
 	"sort"
+	"sync"
 
 	"explain3d/internal/relation"
 )
@@ -12,13 +13,20 @@ import (
 // both relations share a dictionary (the common case: core builds its two
 // virtual-column relations against one Dict), translation degenerates to a
 // cached array lookup per distinct string.
+//
+// Joint-id interning is mutex-guarded so the two sides' token columns can
+// build concurrently; the numeric ids then depend on goroutine interleaving,
+// but every consumer (posting lists, shared-token counts, sorted-merge
+// Jaccard) is invariant under relabeling, so match output is unchanged.
 type tokenSpace struct {
-	ids     map[string]uint32
-	n       uint32
-	perDict map[*relation.Dict]*dictCache
+	mu  sync.Mutex
+	ids map[string]uint32
+	n   uint32
 }
 
-// dictCache holds the per-dictionary translation state.
+// dictCache holds per-dictionary translation state. Each side of a linkage
+// run owns its own cache — even when both sides share a Dict — so the two
+// token-column builds never contend on anything but the joint intern map.
 type dictCache struct {
 	d       *relation.Dict
 	tokMap  []uint32   // dict token code → joint id + 1 (0 = unset)
@@ -26,12 +34,18 @@ type dictCache struct {
 }
 
 func newTokenSpace() *tokenSpace {
-	return &tokenSpace{ids: make(map[string]uint32), perDict: make(map[*relation.Dict]*dictCache)}
+	return &tokenSpace{ids: make(map[string]uint32)}
 }
 
-func (ts *tokenSpace) size() int { return int(ts.n) }
+func (ts *tokenSpace) size() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return int(ts.n)
+}
 
 func (ts *tokenSpace) intern(s string) uint32 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	if id, ok := ts.ids[s]; ok {
 		return id
 	}
@@ -39,15 +53,6 @@ func (ts *tokenSpace) intern(s string) uint32 {
 	ts.ids[s] = id
 	ts.n++
 	return id
-}
-
-func (ts *tokenSpace) cacheFor(d *relation.Dict) *dictCache {
-	dc, ok := ts.perDict[d]
-	if !ok {
-		dc = &dictCache{d: d}
-		ts.perDict[d] = dc
-	}
-	return dc
 }
 
 // translate returns the sorted joint token ids of the dict string behind
@@ -84,7 +89,7 @@ func (ts *tokenSpace) translate(dc *dictCache, code uint32) []uint32 {
 // implementation decided. Per-row entries are nil for NULL cells.
 func (ts *tokenSpace) tokenColumns(r *relation.Relation, idx []int) [][][]uint32 {
 	out := make([][][]uint32, len(idx))
-	dc := ts.cacheFor(r.Dict())
+	dc := &dictCache{d: r.Dict()}
 	for k, c := range idx {
 		if r.NumericOnly(c) {
 			continue

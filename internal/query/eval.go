@@ -15,20 +15,35 @@ import (
 	"explain3d/internal/sqlparse"
 )
 
-// evaluator carries cross-expression state: the database for subqueries and
-// a cache so each uncorrelated IN-subquery runs once.
+// evaluator carries cross-expression state: the database for subqueries,
+// caches so each uncorrelated IN-subquery runs once (string-keyed for the
+// row-at-a-time reference path, packed-key for the compiled path), a LIKE
+// regexp cache, and the engine used to evaluate nested SELECTs — the
+// compiled engine and the reference engine each recurse into themselves.
 type evaluator struct {
 	db       *relation.Database
+	run      func(*sqlparse.Select, *relation.Database) (*relation.Relation, error)
 	subCache map[*sqlparse.InExpr]map[string]bool
+	inCache  map[*sqlparse.InExpr]*inSet
 	likeRE   map[string]*regexp.Regexp
 }
 
 func newEvaluator(db *relation.Database) *evaluator {
 	return &evaluator{
 		db:       db,
+		run:      Run,
 		subCache: make(map[*sqlparse.InExpr]map[string]bool),
+		inCache:  make(map[*sqlparse.InExpr]*inSet),
 		likeRE:   make(map[string]*regexp.Regexp),
 	}
+}
+
+// newReferenceEvaluator builds an evaluator whose subqueries run on the
+// reference engine, keeping differential tests engine-pure.
+func newReferenceEvaluator(db *relation.Database) *evaluator {
+	ev := newEvaluator(db)
+	ev.run = RunReference
+	return ev
 }
 
 // evalScalar evaluates a scalar expression against one row.
@@ -264,7 +279,7 @@ func (ev *evaluator) evalIn(x *sqlparse.InExpr, sch *relation.Schema, row relati
 	if x.Sub != nil {
 		set, ok := ev.subCache[x]
 		if !ok {
-			subRel, err := Run(x.Sub, ev.db)
+			subRel, err := ev.run(x.Sub, ev.db)
 			if err != nil {
 				return false, fmt.Errorf("query: evaluating IN subquery: %w", err)
 			}

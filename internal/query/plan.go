@@ -8,6 +8,13 @@ import (
 	"explain3d/internal/sqlparse"
 )
 
+// The compiled, columnar engine. Every operator follows the same shape:
+// expressions compile once against their source relation (compile.go),
+// filters produce []int32 selection vectors gathered through typed column
+// segments, and joins / DISTINCT / GROUP BY key on packed (kind, code/bits)
+// CellKeys instead of canonical key strings. The row-at-a-time engine this
+// replaced lives in reference.go and must stay byte-identical in output.
+
 // Run evaluates a SELECT against the database and returns the result
 // relation. Aggregate queries return a single-row relation.
 func Run(sel *sqlparse.Select, db *relation.Database) (*relation.Relation, error) {
@@ -36,7 +43,7 @@ func RunScalar(sel *sqlparse.Select, db *relation.Database) (relation.Value, err
 
 // buildSource materializes σ_c(X): the joined FROM sources with the WHERE
 // clause fully applied. Single-table conjuncts are pushed below joins and
-// equality conjuncts across sides become hash joins.
+// equality conjuncts across sides become code-keyed hash joins.
 func buildSource(ev *evaluator, sel *sqlparse.Select, db *relation.Database) (*relation.Relation, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("query: empty FROM clause")
@@ -58,7 +65,7 @@ func buildSource(ev *evaluator, sel *sqlparse.Select, db *relation.Database) (*r
 			return nil, err
 		}
 		// Push single-side conjuncts into the right side before joining.
-		if next, err = applyResolvableSide(ev, next, pending, applied); err != nil {
+		if next, err = applyResolvable(ev, next, pending, applied); err != nil {
 			return nil, err
 		}
 		// Gather join conditions: the explicit ON clause plus WHERE
@@ -108,12 +115,6 @@ func applyResolvable(ev *evaluator, cur *relation.Relation, pending []sqlparse.E
 	return cur, nil
 }
 
-// applyResolvableSide is applyResolvable for a to-be-joined right side; it
-// must not consume conjuncts that also mention other tables.
-func applyResolvableSide(ev *evaluator, side *relation.Relation, pending []sqlparse.Expr, applied []bool) (*relation.Relation, error) {
-	return applyResolvable(ev, side, pending, applied)
-}
-
 func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*relation.Relation, error) {
 	var rel *relation.Relation
 	if ref.Sub != nil {
@@ -134,28 +135,64 @@ func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*rel
 	return rel.WithSchema(ref.Alias, rel.Schema.WithQualifier(ref.Alias)), nil
 }
 
-func filter(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) (*relation.Relation, error) {
-	var keep []int
-	var buf relation.Tuple
+// filterSel compiles pred against r and evaluates it over every row,
+// returning the selection vector of passing row ids.
+func filterSel(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) ([]int32, error) {
+	p, err := ev.compilePred(pred, r)
+	if err != nil {
+		return nil, err
+	}
+	var sel []int32
 	for i := 0; i < r.Len(); i++ {
-		buf = r.RowInto(buf, i)
-		ok, err := ev.evalPred(pred, r.Schema, buf)
+		ok, err := p(i)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			keep = append(keep, i)
+			sel = append(sel, int32(i))
 		}
 	}
-	// Select copies typed column segments directly — no re-interning.
-	return r.Select(keep), nil
+	return sel, nil
+}
+
+func filter(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) (*relation.Relation, error) {
+	sel, err := filterSel(ev, r, pred)
+	if err != nil {
+		return nil, err
+	}
+	// Gather copies typed column segments through the selection vector — no
+	// Value boxing, no re-interning.
+	return r.Gather(sel), nil
+}
+
+// keyColumns extracts the packed cell keys of the given columns (column-
+// major), encoded against target.
+func keyColumns(r *relation.Relation, cols []int, target *relation.Dict) [][]relation.CellKey {
+	out := make([][]relation.CellKey, len(cols))
+	for c, j := range cols {
+		out[c] = r.ColumnCellKeys(nil, j, target)
+	}
+	return out
+}
+
+// anyKeyNull reports whether row i is NULL in any key column.
+func anyKeyNull(keys [][]relation.CellKey, i int) bool {
+	for _, col := range keys {
+		if col[i].IsNull() {
+			return true
+		}
+	}
+	return false
 }
 
 // join combines two relations under the given conditions. Equality
-// conditions between one column on each side drive a hash join; the rest
-// are applied as a post-filter on candidate pairs.
+// conditions between one column on each side drive a hash join keyed on
+// packed cell keys — the hash index maps key hashes to right-side row ids
+// (no materialized tuples), probes verify the packed keys exactly, and the
+// output is assembled by gathering both sides' typed columns through the
+// matched pair's selection vectors. Non-equality conditions apply as
+// compiled post-filters.
 func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) (*relation.Relation, error) {
-	out := relation.NewFromSchema(left.Name+"⋈"+right.Name, left.Schema.Concat(right.Schema), left.Dict())
 	var hashL, hashR []int
 	var rest []sqlparse.Expr
 	for _, c := range conds {
@@ -167,73 +204,141 @@ func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) 
 			rest = append(rest, c)
 		}
 	}
-	combined := func(l, r relation.Tuple) relation.Tuple {
-		row := make(relation.Tuple, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		return row
-	}
-	emit := func(l, r relation.Tuple) (bool, error) {
-		row := combined(l, r)
-		for _, c := range rest {
-			ok, err := ev.evalPred(c, out.Schema, row)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return false, nil
-			}
-		}
-		out.AppendRow(row)
-		return true, nil
-	}
-	// Right-side tuples are retained (in the hash index and across the
-	// probe loop) and are materialized once; left rows are copied into the
-	// combined row immediately, so one reused buffer serves the probe side.
-	rightRows := right.Tuples()
-	var l relation.Tuple
+	name := left.Name + "⋈" + right.Name
+	sch := left.Schema.Concat(right.Schema)
+	var selL, selR []int32
 	if len(hashL) > 0 {
-		// Hash join on the equality columns; NULL keys never match.
-		index := make(map[string][]relation.Tuple, len(rightRows))
-		for _, r := range rightRows {
-			if hasNull(r, hashR) {
+		// Hash join on the equality columns; NULL keys never match. Keys
+		// encode against the left dictionary (the output's code space), so
+		// cross-dictionary string joins compare translated codes.
+		target := left.Dict()
+		lKeys := keyColumns(left, hashL, target)
+		rKeys := keyColumns(right, hashR, target)
+		index := make(map[uint64][]int32, right.Len())
+		for j := 0; j < right.Len(); j++ {
+			if anyKeyNull(rKeys, j) {
 				continue
 			}
-			k := r.Key(hashR)
-			index[k] = append(index[k], r)
+			h := relation.HashRow(rKeys, j)
+			index[h] = append(index[h], int32(j))
 		}
 		for i := 0; i < left.Len(); i++ {
-			l = left.RowInto(l, i)
-			if hasNull(l, hashL) {
+			if anyKeyNull(lKeys, i) {
 				continue
 			}
-			for _, r := range index[l.Key(hashL)] {
-				if _, err := emit(l, r); err != nil {
-					return nil, err
+			for _, j := range index[relation.HashRow(lKeys, i)] {
+				if relation.RowKeysEqual(lKeys, i, rKeys, int(j)) {
+					selL = append(selL, int32(i))
+					selR = append(selR, j)
 				}
 			}
 		}
-		return out, nil
+		selL, selR, err := filterPairs(ev, name, sch, left, right, selL, selR, rest)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ConcatGather(name, sch, left, selL, right, selR), nil
 	}
-	// Cross product fallback.
-	for i := 0; i < left.Len(); i++ {
-		l = left.RowInto(l, i)
-		for _, r := range rightRows {
-			if _, err := emit(l, r); err != nil {
+	if len(rest) > 0 {
+		// Filtered cross product: stream left-row batches so memory stays
+		// O(batch + output) instead of materializing |L|·|R| pairs (the
+		// row-at-a-time engine likewise retained only passing pairs).
+		batch := joinBatchPairs / right.Len()
+		if batch < 1 {
+			batch = 1
+		}
+		bl := make([]int32, 0, batch*right.Len())
+		br := make([]int32, 0, batch*right.Len())
+		for lo := 0; lo < left.Len(); lo += batch {
+			hi := lo + batch
+			if hi > left.Len() {
+				hi = left.Len()
+			}
+			bl, br = bl[:0], br[:0]
+			for i := lo; i < hi; i++ {
+				for j := 0; j < right.Len(); j++ {
+					bl = append(bl, int32(i))
+					br = append(br, int32(j))
+				}
+			}
+			kl, kr, err := filterPairs(ev, name, sch, left, right, bl, br, rest)
+			if err != nil {
 				return nil, err
 			}
+			selL = append(selL, kl...)
+			selR = append(selR, kr...)
+		}
+		return relation.ConcatGather(name, sch, left, selL, right, selR), nil
+	}
+	// Unfiltered cross product: the output IS every pair, in left-major
+	// order.
+	n := left.Len() * right.Len()
+	selL = make([]int32, 0, n)
+	selR = make([]int32, 0, n)
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			selL = append(selL, int32(i))
+			selR = append(selR, int32(j))
 		}
 	}
-	return out, nil
+	return relation.ConcatGather(name, sch, left, selL, right, selR), nil
 }
 
-func hasNull(row relation.Tuple, idx []int) bool {
-	for _, i := range idx {
-		if row[i].IsNull() {
-			return true
+// joinBatchPairs bounds how many candidate pairs filterPairs materializes
+// at once.
+const joinBatchPairs = 1 << 16
+
+// filterPairs applies the non-equality join conditions to candidate pairs,
+// returning the surviving (left, right) selection vectors. Candidates
+// gather into bounded batches — predicates compile per batch (cheap: a
+// closure tree) and evaluate vectorized, but only surviving pairs are ever
+// retained, so memory stays O(batch + output) even when candidates vastly
+// outnumber results.
+func filterPairs(ev *evaluator, name string, sch *relation.Schema, left, right *relation.Relation, selL, selR []int32, rest []sqlparse.Expr) ([]int32, []int32, error) {
+	if len(rest) == 0 || len(selL) == 0 {
+		return selL, selR, nil
+	}
+	var keptL, keptR []int32
+	scratch := make([]int32, 0, joinBatchPairs)
+	for lo := 0; lo < len(selL); lo += joinBatchPairs {
+		hi := lo + joinBatchPairs
+		if hi > len(selL) {
+			hi = len(selL)
+		}
+		bl, br := selL[lo:hi], selR[lo:hi]
+		cand := relation.ConcatGather(name, sch, left, bl, right, br)
+		alive := scratch[:0]
+		for i := 0; i < cand.Len(); i++ {
+			alive = append(alive, int32(i))
+		}
+		for _, c := range rest {
+			if len(alive) == 0 {
+				break
+			}
+			p, err := ev.compilePred(c, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			// In-place subset filter: the write position never passes the
+			// read position.
+			kept := alive[:0]
+			for _, i := range alive {
+				ok, err := p(int(i))
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					kept = append(kept, i)
+				}
+			}
+			alive = kept
+		}
+		for _, i := range alive {
+			keptL = append(keptL, bl[i])
+			keptR = append(keptR, br[i])
 		}
 	}
-	return false
+	return keptL, keptR, nil
 }
 
 // equiJoinCols recognizes `a = b` with a on one side and b on the other.
@@ -294,34 +399,124 @@ func itemName(it *sqlparse.SelectItem, i int) string {
 	return fmt.Sprintf("col%d", i+1)
 }
 
+// groupSizeHint caps the initial hash-table size for group-like operators:
+// distinct keys are usually far fewer than rows, and the table grows on
+// demand anyway.
+func groupSizeHint(rows int) int {
+	if rows > 256 {
+		return 256
+	}
+	return rows
+}
+
+// rowDeduper tracks distinct rows by packed keys: a hash bucket maps to the
+// previously kept representatives, compared exactly (column-major keys).
+type rowDeduper struct {
+	buckets map[uint64][]int32
+}
+
+func newRowDeduper(hint int) *rowDeduper {
+	return &rowDeduper{buckets: make(map[uint64][]int32, groupSizeHint(hint))}
+}
+
+// insert reports whether row i (under keys) is new, recording i itself as
+// the representative future rows compare against — so keys[c] must keep
+// position i valid for the deduper's lifetime.
+func (d *rowDeduper) insert(keys [][]relation.CellKey, i int) bool {
+	h := relation.HashRow(keys, i)
+	for _, p := range d.buckets[h] {
+		if relation.RowKeysEqual(keys, i, keys, int(p)) {
+			return false
+		}
+	}
+	d.buckets[h] = append(d.buckets[h], int32(i))
+	return true
+}
+
+// plainProject evaluates the SELECT list without aggregation. Pure column
+// projections are zero-copy views; DISTINCT deduplicates on packed keys.
 func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
 	names := make([]string, len(sel.Items))
 	for i, it := range sel.Items {
 		names[i] = itemName(it, i)
 	}
-	out := relation.NewWithDict(src.Dict(), "", names...)
-	seen := make(map[string]bool)
-	keyIdx := make([]int, len(sel.Items))
-	for i := range keyIdx {
-		keyIdx[i] = i
+	outSchema := relation.NewSchema(names...)
+
+	// All-column-reference SELECT lists project without evaluating anything.
+	colIdx := make([]int, len(sel.Items))
+	allRefs := true
+	for i, it := range sel.Items {
+		ref, ok := it.Expr.(*sqlparse.ColumnRef)
+		if !ok {
+			allRefs = false
+			break
+		}
+		j, err := src.Schema.Index(ref.String())
+		if err != nil {
+			return nil, err
+		}
+		colIdx[i] = j
 	}
-	var row relation.Tuple
-	rec := make(relation.Tuple, len(sel.Items))
+	if allRefs {
+		view := src.ProjectColumns("", outSchema, colIdx)
+		if !sel.Distinct {
+			return view, nil
+		}
+		// DISTINCT on source columns: dedupe on their packed keys, then
+		// gather the surviving rows.
+		keys := keyColumns(src, colIdx, src.Dict())
+		dedup := newRowDeduper(src.Len())
+		var sel32 []int32
+		for i := 0; i < src.Len(); i++ {
+			if dedup.insert(keys, i) {
+				sel32 = append(sel32, int32(i))
+			}
+		}
+		return view.Gather(sel32), nil
+	}
+
+	// Computed items: evaluate compiled expressions per row; DISTINCT keys
+	// the computed values.
+	fns := make([]scalarFn, len(sel.Items))
+	for i, it := range sel.Items {
+		fn, err := ev.compileScalar(it.Expr, src)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	out := relation.NewWithDict(src.Dict(), "", names...)
+	var dedup *rowDeduper
+	var keptKeys [][]relation.CellKey
+	if sel.Distinct {
+		dedup = newRowDeduper(src.Len())
+		keptKeys = make([][]relation.CellKey, len(fns))
+	}
+	rec := make(relation.Tuple, len(fns))
+	rowKeys := make([]relation.CellKey, len(fns))
 	for r := 0; r < src.Len(); r++ {
-		row = src.RowInto(row, r)
-		for i, it := range sel.Items {
-			v, err := ev.evalScalar(it.Expr, src.Schema, row)
+		for i, fn := range fns {
+			v, err := fn(r)
 			if err != nil {
 				return nil, err
 			}
 			rec[i] = v
 		}
 		if sel.Distinct {
-			k := rec.Key(keyIdx)
-			if seen[k] {
+			for i, v := range rec {
+				rowKeys[i] = relation.CellKeyOf(v, src.Dict())
+			}
+			// Tentatively append this row's keys so the deduper can compare
+			// against kept rows by id; roll back on duplicates.
+			for i := range keptKeys {
+				keptKeys[i] = append(keptKeys[i], rowKeys[i])
+			}
+			if !dedup.insert(keptKeys, out.Len()) {
+				for i := range keptKeys {
+					keptKeys[i] = keptKeys[i][:len(keptKeys[i])-1]
+				}
 				continue
 			}
-			seen[k] = true
 		}
 		out.AppendRow(rec)
 	}
@@ -402,26 +597,78 @@ func (a *aggState) result() relation.Value {
 	return relation.Null()
 }
 
+// accumulateTyped folds a homogeneous numeric column into the aggregate
+// state without boxing a Value per row: additions happen in the same order
+// and the same float64 arithmetic the generic path uses, so results are
+// bit-identical. Returns false when the column does not qualify.
+func accumulateTyped(st *aggState, src *relation.Relation, j int) bool {
+	switch st.fn {
+	case sqlparse.AggCount, sqlparse.AggSum, sqlparse.AggAvg:
+	default:
+		return false // MIN/MAX keep the generic Value path (kind fidelity)
+	}
+	if ints, nulls, ok := src.IntColumn(j); ok {
+		for i := range ints {
+			if relation.NullAt(nulls, i) {
+				continue
+			}
+			st.count++
+			st.sum += float64(ints[i])
+		}
+		return true
+	}
+	if floats, nulls, ok := src.FloatColumn(j); ok {
+		for i := range floats {
+			if relation.NullAt(nulls, i) {
+				continue
+			}
+			st.count++
+			st.sum += floats[i]
+			st.isInt = false
+		}
+		return true
+	}
+	return false
+}
+
 func aggregateProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
 	names := make([]string, len(sel.Items))
 	states := make([]*aggState, len(sel.Items))
+	fns := make([]scalarFn, len(sel.Items))
+	typed := make([]bool, len(sel.Items))
 	for i, it := range sel.Items {
 		if it.Agg == sqlparse.AggNone {
 			return nil, fmt.Errorf("query: mixing aggregates and plain columns requires GROUP BY: %s", it)
 		}
 		names[i] = itemName(it, i)
 		states[i] = newAggState(it.Agg)
+		if it.Star {
+			continue
+		}
+		// COUNT/SUM/AVG over a plain numeric column fold straight off the
+		// typed array; everything else compiles to a scalar closure.
+		if ref, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+			if j, err := src.Schema.Index(ref.String()); err == nil && accumulateTyped(states[i], src, j) {
+				typed[i] = true
+				continue
+			}
+		}
+		fn, err := ev.compileScalar(it.Expr, src)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
 	}
-	var row relation.Tuple
+	one := relation.Int(1)
 	for r := 0; r < src.Len(); r++ {
-		row = src.RowInto(row, r)
 		for i, it := range sel.Items {
-			var v relation.Value
-			if it.Star {
-				v = relation.Int(1)
-			} else {
+			if typed[i] {
+				continue
+			}
+			v := one
+			if !it.Star {
 				var err error
-				v, err = ev.evalScalar(it.Expr, src.Schema, row)
+				v, err = fns[i](r)
 				if err != nil {
 					return nil, err
 				}
@@ -440,7 +687,9 @@ func aggregateProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relatio
 	return out, nil
 }
 
-func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+// groupIndexes resolves the GROUP BY columns and validates that every
+// non-aggregate select item is one of them.
+func groupIndexes(sel *sqlparse.Select, src *relation.Relation) ([]int, error) {
 	gIdx := make([]int, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		idx, err := src.Schema.Index(g.String())
@@ -449,7 +698,6 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 		}
 		gIdx[i] = idx
 	}
-	// Validate items: plain items must be group-by columns.
 	for _, it := range sel.Items {
 		if it.Agg != sqlparse.AggNone {
 			continue
@@ -472,39 +720,68 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 			return nil, fmt.Errorf("query: column %s is not in GROUP BY", ref)
 		}
 	}
+	return gIdx, nil
+}
+
+// groupProject aggregates per group, keying groups on packed cell keys.
+// Each group tracks only its first source row id — non-aggregate items
+// evaluate there at output time — and groups emit in first-appearance
+// order, exactly like the reference engine.
+func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
+	gIdx, err := groupIndexes(sel, src)
+	if err != nil {
+		return nil, err
+	}
+	keys := keyColumns(src, gIdx, src.Dict())
+
+	fns := make([]scalarFn, len(sel.Items))
+	for i, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		fn, err := ev.compileScalar(it.Expr, src)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+
 	type group struct {
-		first  relation.Tuple
+		first  int32
 		states []*aggState
 	}
-	groups := make(map[string]*group)
-	var order []string
-	var row relation.Tuple
+	var groups []group
+	buckets := make(map[uint64][]int32, groupSizeHint(src.Len()))
+	one := relation.Int(1)
 	for r := 0; r < src.Len(); r++ {
-		row = src.RowInto(row, r)
-		k := row.Key(gIdx)
-		g, ok := groups[k]
-		if !ok {
-			// Only each group's first row is retained — clone it out of the
-			// reused buffer.
-			g = &group{first: row.Clone(), states: make([]*aggState, len(sel.Items))}
+		h := relation.HashRow(keys, r)
+		gi := int32(-1)
+		for _, cand := range buckets[h] {
+			if relation.RowKeysEqual(keys, r, keys, int(groups[cand].first)) {
+				gi = cand
+				break
+			}
+		}
+		if gi < 0 {
+			gi = int32(len(groups))
+			states := make([]*aggState, len(sel.Items))
 			for i, it := range sel.Items {
 				if it.Agg != sqlparse.AggNone {
-					g.states[i] = newAggState(it.Agg)
+					states[i] = newAggState(it.Agg)
 				}
 			}
-			groups[k] = g
-			order = append(order, k)
+			groups = append(groups, group{first: int32(r), states: states})
+			buckets[h] = append(buckets[h], gi)
 		}
+		g := &groups[gi]
 		for i, it := range sel.Items {
 			if it.Agg == sqlparse.AggNone {
 				continue
 			}
-			var v relation.Value
-			if it.Star {
-				v = relation.Int(1)
-			} else {
+			v := one
+			if !it.Star {
 				var err error
-				v, err = ev.evalScalar(it.Expr, src.Schema, row)
+				v, err = fns[i](r)
 				if err != nil {
 					return nil, err
 				}
@@ -520,14 +797,14 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	}
 	out := relation.NewWithDict(src.Dict(), "", names...)
 	rec := make(relation.Tuple, len(sel.Items))
-	for _, k := range order {
-		g := groups[k]
+	for gi := range groups {
+		g := &groups[gi]
 		for i, it := range sel.Items {
 			if it.Agg != sqlparse.AggNone {
 				rec[i] = g.states[i].result()
 				continue
 			}
-			v, err := ev.evalScalar(it.Expr, src.Schema, g.first)
+			v, err := fns[i](int(g.first))
 			if err != nil {
 				return nil, err
 			}

@@ -25,12 +25,53 @@ type Provenance struct {
 	Result relation.Value
 }
 
+// provenanceAggregate finds the query's single aggregate item (nil for
+// non-aggregate queries); more than one aggregate is rejected.
+func provenanceAggregate(sel *sqlparse.Select) (sqlparse.AggFunc, *sqlparse.SelectItem, error) {
+	agg := sqlparse.AggNone
+	var aggItem *sqlparse.SelectItem
+	for _, it := range sel.Items {
+		if it.Agg != sqlparse.AggNone {
+			if aggItem != nil {
+				return agg, nil, fmt.Errorf("query: provenance extraction supports a single aggregate, got %s", sel.String())
+			}
+			aggItem = it
+			agg = it.Agg
+		}
+	}
+	return agg, aggItem, nil
+}
+
+// finishProvenance fills in the query's own answer: the scalar result for
+// aggregate queries, the result row count otherwise.
+func finishProvenance(prov *Provenance, aggItem *sqlparse.SelectItem, db *relation.Database) error {
+	if aggItem != nil {
+		res, err := RunScalar(prov.Query, db)
+		if err != nil {
+			return err
+		}
+		prov.Result = res
+		return nil
+	}
+	res, err := Run(prov.Query, db)
+	if err != nil {
+		return err
+	}
+	prov.Result = relation.Int(int64(res.Len()))
+	return nil
+}
+
 // Extract computes the provenance relation of Definition 2.3. Grouped
 // queries are rejected: the paper's query class aggregates the full
 // selection. For each tuple t in σ_c(X) the impact is Π_o'(t), where o' = 1
-// for non-aggregates and COUNT, and the aggregated expression otherwise.
-// Tuples whose aggregated expression is NULL contribute nothing to the
-// result and are excluded (SQL aggregate semantics).
+// for non-aggregates and COUNT, and the aggregated attribute's value
+// otherwise. Tuples whose aggregated expression is NULL contribute nothing
+// to the result and are excluded (SQL aggregate semantics).
+//
+// The compiled engine builds P columnar-ly: the impact expression compiles
+// once, contributing rows collect into a selection vector, and P is the
+// source's typed columns gathered through it plus the impact column — σ_c(X)
+// is never re-boxed into Tuples.
 func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 	if len(sel.GroupBy) > 0 {
 		return nil, fmt.Errorf("query: provenance extraction does not support GROUP BY queries: %s", sel.String())
@@ -40,64 +81,56 @@ func Extract(sel *sqlparse.Select, db *relation.Database) (*Provenance, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	agg := sqlparse.AggNone
-	var aggItem *sqlparse.SelectItem
-	for _, it := range sel.Items {
-		if it.Agg != sqlparse.AggNone {
-			if aggItem != nil {
-				return nil, fmt.Errorf("query: provenance extraction supports a single aggregate, got %s", sel.String())
-			}
-			aggItem = it
-			agg = it.Agg
-		}
+	agg, aggItem, err := provenanceAggregate(sel)
+	if err != nil {
+		return nil, err
 	}
 
-	p := relation.NewFromSchema("P", src.Schema.Concat(relation.NewSchema(ImpactColumn)), src.Dict())
-	var row relation.Tuple
-	rec := make(relation.Tuple, src.Schema.Len()+1)
-	for r := 0; r < src.Len(); r++ {
-		row = src.RowInto(row, r)
-		var impact relation.Value
-		switch {
-		case aggItem == nil, aggItem.Star, agg == sqlparse.AggCount && aggItem.Star:
-			impact = relation.Int(1)
-		default:
-			v, err := ev.evalScalar(aggItem.Expr, src.Schema, row)
+	n := src.Len()
+	sel32 := make([]int32, 0, n)
+	impacts := make([]relation.Value, 0, n)
+	if aggItem == nil || aggItem.Star || agg == sqlparse.AggCount && aggItem.Star {
+		// Constant impact 1: every source row contributes.
+		one := relation.Int(1)
+		for i := 0; i < n; i++ {
+			sel32 = append(sel32, int32(i))
+			impacts = append(impacts, one)
+		}
+	} else {
+		fn, err := ev.compileScalar(aggItem.Expr, src)
+		if err != nil {
+			return nil, err
+		}
+		one := relation.Int(1)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
 			if err != nil {
 				return nil, err
 			}
 			if v.IsNull() {
 				continue // contributes nothing to the aggregate
 			}
+			impact := v
 			if agg == sqlparse.AggCount {
-				impact = relation.Int(1)
-			} else {
-				if _, ok := v.AsFloat(); !ok {
-					return nil, fmt.Errorf("query: impact of %s must be numeric, got %v", aggItem, v)
-				}
-				impact = v
+				impact = one
+			} else if _, ok := v.AsFloat(); !ok {
+				return nil, fmt.Errorf("query: impact of %s must be numeric, got %v", aggItem, v)
 			}
+			sel32 = append(sel32, int32(i))
+			impacts = append(impacts, impact)
 		}
-		rec = rec[:0]
-		rec = append(rec, row...)
-		rec = append(rec, impact)
-		p.AppendRow(rec)
 	}
 
+	sch := src.Schema.Concat(relation.NewSchema(ImpactColumn))
+	base := src
+	if len(sel32) < n {
+		base = src.Gather(sel32)
+	}
+	p := base.AppendValueColumn("P", sch, impacts)
+
 	prov := &Provenance{Query: sel, Agg: agg, Rel: p}
-	if aggItem != nil {
-		res, err := RunScalar(sel, db)
-		if err != nil {
-			return nil, err
-		}
-		prov.Result = res
-	} else {
-		res, err := Run(sel, db)
-		if err != nil {
-			return nil, err
-		}
-		prov.Result = relation.Int(int64(res.Len()))
+	if err := finishProvenance(prov, aggItem, db); err != nil {
+		return nil, err
 	}
 	return prov, nil
 }

@@ -161,7 +161,12 @@ func (c *column) clone() *column {
 // gather builds a new column holding the given row positions, in order.
 // Typed payloads and dict codes copy directly — no Value boxing and no
 // re-interning.
-func (c *column) gather(rows []int) *column {
+func (c *column) gather(rows []int) *column { return gatherColumn(c, rows) }
+
+// gather32 is gather for the query engine's selection vectors.
+func (c *column) gather32(rows []int32) *column { return gatherColumn(c, rows) }
+
+func gatherColumn[T int | int32](c *column, rows []T) *column {
 	if c.mixed != nil {
 		out := &column{mixed: make([]Value, len(rows))}
 		for k, i := range rows {
@@ -181,7 +186,7 @@ func (c *column) gather(rows []int) *column {
 		out.codes = make([]uint32, len(rows))
 	}
 	for k, i := range rows {
-		if bitGet(c.nulls, i) {
+		if bitGet(c.nulls, int(i)) {
 			bitSet(out.nulls, k)
 			continue
 		}

@@ -77,6 +77,16 @@ func (d *Dict) String(code uint32) string {
 	return d.strs[code]
 }
 
+// Strings returns a snapshot of the backing string table. The dictionary is
+// append-only, so entries of the returned slice never change; codes interned
+// after the snapshot need a fresh call. Compiled-query accessors bind one
+// snapshot and then read per cell without locking.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.strs
+}
+
 // Len returns the number of interned strings.
 func (d *Dict) Len() int {
 	d.mu.RLock()

@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomKeyValue draws from a pool dense enough to produce collisions on
+// every equivalence class Value.Key distinguishes (and the ones it folds,
+// like 2 vs 2.0).
+func randomKeyValue(rng *rand.Rand) Value {
+	switch rng.Intn(12) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(rng.Intn(2) == 0)
+	case 2:
+		return Int(int64(rng.Intn(5)))
+	case 3:
+		return Int(int64(1) << 60) // beyond float64 precision
+	case 4:
+		return Int(int64(1)<<60 + 1)
+	case 5:
+		return Float(float64(rng.Intn(5))) // integral: folds with Int
+	case 6:
+		return Float(float64(rng.Intn(5)) + 0.5)
+	case 7:
+		return Float(math.NaN())
+	case 8:
+		return Float(math.Inf(1 - 2*rng.Intn(2)))
+	case 9:
+		return Float(1e16) // integral but beyond the fold cutoff
+	default:
+		return String([]string{"a", "b", "2", "2.0", "true", ""}[rng.Intn(6)])
+	}
+}
+
+// TestCellKeyMatchesValueKey is the soundness property of packed keys: two
+// values map to the same CellKey exactly when their canonical Key strings
+// are equal — CellKey equality is Value.Key equality, just without the
+// string building.
+func TestCellKeyMatchesValueKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDict()
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randomKeyValue(rng), randomKeyValue(rng)
+		ka, kb := CellKeyOf(a, d), CellKeyOf(b, d)
+		if (ka == kb) != (a.Key() == b.Key()) {
+			t.Fatalf("CellKey equality diverged from Key equality: %v (%v) vs %v (%v)", a, ka, b, kb)
+		}
+		if ka.IsNull() != a.IsNull() {
+			t.Fatalf("CellKey null flag diverged for %v", a)
+		}
+	}
+}
+
+// TestColumnCellKeysMatchesCellKeyOf: the columnar extraction must agree
+// with the per-value encoder on every storage layout — homogeneous typed
+// columns, all-NULL columns, the boxed mixed fallback, and string columns
+// behind a foreign dictionary.
+func TestColumnCellKeysMatchesCellKeyOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		shared := rng.Intn(2) == 0
+		d := NewDict()
+		var r *Relation
+		if shared {
+			r = NewWithDict(d, "T", "a", "b", "c")
+		} else {
+			r = New("T", "a", "b", "c") // foreign dict: keys must translate
+		}
+		rows := rng.Intn(40)
+		for i := 0; i < rows; i++ {
+			r.Append(randomKeyValue(rng), randomKeyValue(rng), randomKeyValue(rng))
+		}
+		for j := 0; j < 3; j++ {
+			keys := r.ColumnCellKeys(nil, j, d)
+			if len(keys) != rows {
+				t.Fatalf("column %d: %d keys for %d rows", j, len(keys), rows)
+			}
+			for i := 0; i < rows; i++ {
+				if want := CellKeyOf(r.At(i, j), d); keys[i] != want {
+					t.Fatalf("trial %d col %d row %d: key %v, want %v (cell %v)",
+						trial, j, i, keys[i], want, r.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGatherMatchesSelect: the []int32 gather must agree with the []int
+// Select used elsewhere, cell for cell.
+func TestGatherMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := New("T", "a", "b")
+	for i := 0; i < 30; i++ {
+		r.Append(randomKeyValue(rng), randomKeyValue(rng))
+	}
+	var sel []int
+	var sel32 []int32
+	for i := 0; i < r.Len(); i++ {
+		if rng.Intn(2) == 0 {
+			sel = append(sel, i)
+			sel32 = append(sel32, int32(i))
+		}
+	}
+	a, b := r.Select(sel), r.Gather(sel32)
+	if a.Len() != b.Len() {
+		t.Fatalf("Select %d rows, Gather %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < 2; j++ {
+			if av, bv := a.At(i, j), b.At(i, j); av.Key() != bv.Key() {
+				t.Fatalf("cell (%d,%d): Select %v vs Gather %v", i, j, av, bv)
+			}
+		}
+	}
+}
+
+// TestConcatGatherTranslatesForeignCodes: join-output assembly across two
+// dictionaries must land every right-side string in the left dictionary's
+// code space.
+func TestConcatGatherTranslatesForeignCodes(t *testing.T) {
+	left := New("L", "x").Append("shared").Append("only left")
+	right := New("R", "y").Append("shared").Append("only right")
+	out := ConcatGather("J", left.Schema.Concat(right.Schema),
+		left, []int32{0, 1, 0}, right, []int32{1, 0, 0})
+	want := [][2]string{{"shared", "only right"}, {"only left", "shared"}, {"shared", "shared"}}
+	for i, w := range want {
+		if got := [2]string{out.At(i, 0).Str(), out.At(i, 1).Str()}; got != w {
+			t.Fatalf("row %d = %v, want %v", i, got, w)
+		}
+	}
+	// The right-side column's codes must resolve in the left dictionary.
+	if _, ok := left.Dict().Lookup("only right"); !ok {
+		t.Fatal("right-side string was not translated into the left dictionary")
+	}
+	if out.Dict() != left.Dict() {
+		t.Fatal("join output must use the left dictionary")
+	}
+	_ = fmt.Sprint(out) // String() must not panic on translated columns
+}
