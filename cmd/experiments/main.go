@@ -1,13 +1,16 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (Section 5):
 //
-//	fig4   dataset statistics (academic pairs + IMDb templates)
-//	fig6   accuracy and time on the academic pairs (6a–6f)
-//	fig7   accuracy on the IMDb views (7a, 7b) and time vs tuples (7c)
-//	fig8a  synthetic solve time vs number of tuples
-//	fig8b  synthetic solve time vs difference ratio
-//	fig8c  synthetic solve time vs vocabulary size
-//	all    everything above
+//	fig4      dataset statistics (academic pairs + IMDb templates)
+//	fig6      accuracy and time on the academic pairs (6a–6f)
+//	fig7      accuracy on the IMDb views (7a, 7b) and time vs tuples (7c)
+//	fig8a     synthetic solve time vs number of tuples
+//	fig8b     synthetic solve time vs difference ratio
+//	fig8c     synthetic solve time vs vocabulary size
+//	all       everything above
+//	milpbench solver baseline: sparse vs dense engines on fixed MILP
+//	          workloads, written to -benchout (BENCH_milp.json) so PRs can
+//	          track the solver's perf trajectory (not part of "all")
 //
 // The -scale flag shrinks or grows the sweeps (1 = paper-shaped defaults
 // sized for a laptop; the absolute paper scales need hours).
@@ -27,10 +30,11 @@ import (
 )
 
 var (
-	exp        = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all")
+	exp        = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all|milpbench")
 	scale      = flag.Float64("scale", 1, "workload scale multiplier")
 	budget     = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
 	workers    = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
+	benchout   = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 )
@@ -88,6 +92,13 @@ func main() {
 	run("fig8a", fig8a)
 	run("fig8b", fig8b)
 	run("fig8c", fig8c)
+	if *exp == "milpbench" {
+		fmt.Println("==== milpbench ====")
+		if err := milpbench(*benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: milpbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func fig4(params core.Params) error {

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"explain3d/internal/milp"
+)
+
+// milpbench runs a fixed set of solver workloads through both LP engines
+// (sparse revised simplex, dense tableau) and writes the measurements to a
+// JSON baseline. The workloads are frozen — same models, same seeds — so a
+// diff of BENCH_milp.json across PRs is a diff of solver performance, not
+// of workload drift.
+
+// milpBenchResult is one (workload, engine) measurement.
+type milpBenchResult struct {
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"`
+	Status     string  `json:"status"`
+	Objective  float64 `json:"objective"`
+	Nodes      int     `json:"nodes"`
+	Iters      int     `json:"iters"`
+	Seconds    float64 `json:"seconds"`
+	PivotsPerS float64 `json:"pivotsPerSec"`
+	Refactors  int     `json:"refactors"`
+	LUFill     int     `json:"luFill"`
+	CertInfeas int     `json:"certInfeas"`
+}
+
+// knapsackConflicts mirrors the milp package's benchmark model: binaries
+// coupled by a capacity row plus pairwise conflicts — the shape of the
+// paper's explanation encodings.
+func knapsackConflicts(nVars int, seed int64) *milp.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := milp.NewModel("bench", milp.Maximize)
+	vars := make([]milp.Var, nVars)
+	terms := make([]milp.Term, nVars)
+	for i := range vars {
+		vars[i] = m.AddVar(0, 1, milp.Binary, "x")
+		m.SetObjCoef(vars[i], float64(5+rng.Intn(17)))
+		terms[i] = milp.Term{Var: vars[i], Coef: float64(2 + rng.Intn(9))}
+	}
+	m.AddConstr(terms, milp.LE, float64(3*nVars/2), "cap")
+	for k := 0; k < nVars/2; k++ {
+		a, b := rng.Intn(nVars), rng.Intn(nVars)
+		if a == b {
+			continue
+		}
+		m.AddConstr([]milp.Term{{Var: vars[a], Coef: 1}, {Var: vars[b], Coef: 1}}, milp.LE, 1, "conflict")
+	}
+	return m
+}
+
+// pathCoverLP is a single large LP block (minimum-weight vertex cover on a
+// path): n continuous variables, n-1 GE rows, near-banded — the dense
+// tableau costs (n-1)·(3n-2) cells per pivot, the sparse engine a few
+// dozen nonzeros.
+func pathCoverLP(n int) *milp.Model {
+	m := milp.NewModel("pathcover", milp.Minimize)
+	vars := make([]milp.Var, n)
+	for i := range vars {
+		vars[i] = m.AddVar(0, 1, milp.Continuous, "x")
+		m.SetObjCoef(vars[i], float64(1+(i*7)%5))
+	}
+	for i := 0; i+1 < n; i++ {
+		m.AddConstr([]milp.Term{{Var: vars[i], Coef: 1}, {Var: vars[i+1], Coef: 1}}, milp.GE, 1, "edge")
+	}
+	return m
+}
+
+// pigeonhole encodes holes+1 items into holes — infeasible overall, with a
+// branch-and-bound tree made almost entirely of LP-infeasible nodes (the
+// Farkas-certificate workload).
+func pigeonhole(holes int) *milp.Model {
+	items := holes + 1
+	m := milp.NewModel("pigeonhole", milp.Maximize)
+	x := make([][]milp.Var, items)
+	for i := range x {
+		x[i] = make([]milp.Var, holes)
+		row := make([]milp.Term, holes)
+		for h := range x[i] {
+			x[i][h] = m.AddVar(0, 1, milp.Binary, "x")
+			row[h] = milp.Term{Var: x[i][h], Coef: 1}
+		}
+		m.AddConstr(row, milp.EQ, 1, "placed")
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < items; i++ {
+			for k := i + 1; k < items; k++ {
+				m.AddConstr([]milp.Term{{Var: x[i][h], Coef: 1}, {Var: x[k][h], Coef: 1}}, milp.LE, 1, "exclusive")
+			}
+		}
+	}
+	return m
+}
+
+func milpbench(outPath string) error {
+	type workload struct {
+		name  string
+		build func() *milp.Model
+	}
+	workloads := []workload{
+		{"knapsack-conflicts-26", func() *milp.Model { return knapsackConflicts(26, 100) }},
+		{"pathcover-lp-800", func() *milp.Model { return pathCoverLP(800) }},
+		{"pigeonhole-4", func() *milp.Model { return pigeonhole(4) }},
+	}
+	engines := []struct {
+		name string
+		opt  milp.Options
+	}{
+		{"sparse", milp.Options{}},
+		{"dense", milp.Options{DenseLP: true}},
+	}
+	var results []milpBenchResult
+	for _, w := range workloads {
+		for _, e := range engines {
+			model := w.build()
+			start := time.Now()
+			sol, err := milp.Solve(model, e.opt)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.name, e.name, err)
+			}
+			sec := time.Since(start).Seconds()
+			r := milpBenchResult{
+				Workload:  w.name,
+				Engine:    e.name,
+				Status:    sol.Status.String(),
+				Objective: sol.Objective,
+				Nodes:     sol.Nodes,
+				Iters:     sol.Iters,
+				Seconds:   sec,
+				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas,
+			}
+			if sec > 0 {
+				r.PivotsPerS = float64(sol.Iters) / sec
+			}
+			results = append(results, r)
+			fmt.Printf("  %-22s %-7s %-10s obj=%-8.6g nodes=%-6d iters=%-7d %8.0f pivots/s  refactors=%d fill=%d cert=%d\n",
+				w.name, e.name, r.Status, r.Objective, r.Nodes, r.Iters, r.PivotsPerS, r.Refactors, r.LUFill, r.CertInfeas)
+		}
+	}
+	// Baseline sanity: both engines must agree on every workload's verdict
+	// and objective before the file is worth writing.
+	for i := 0; i < len(results); i += 2 {
+		s, d := results[i], results[i+1]
+		if s.Status != d.Status || (s.Status == "optimal" && !floatsClose(s.Objective, d.Objective)) {
+			return fmt.Errorf("%s: engines disagree: sparse %s/%g, dense %s/%g",
+				s.Workload, s.Status, s.Objective, d.Status, d.Objective)
+		}
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  baseline written to %s\n", outPath)
+	return nil
+}
+
+func floatsClose(a, b float64) bool {
+	d := a - b
+	return d < 1e-5 && d > -1e-5
+}

@@ -91,6 +91,9 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 		}
 		st.Nodes = sol.Nodes
 		st.Iters = sol.Iters
+		st.Refactors = sol.Refactors
+		st.LUFill = sol.LUFill
+		st.CertInfeas = sol.CertInfeas
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusLimit:
@@ -165,6 +168,9 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 		stats.MILPRows += subStats[si].MILPRows
 		stats.Nodes += subStats[si].Nodes
 		stats.Iters += subStats[si].Iters
+		stats.Refactors += subStats[si].Refactors
+		stats.LUFill += subStats[si].LUFill
+		stats.CertInfeas += subStats[si].CertInfeas
 		if subStats[si].TimedOut {
 			stats.TimedOut = true
 		}

@@ -212,6 +212,15 @@ type Stats struct {
 	// Iters/Nodes is the per-node solver effort the warm-started dual
 	// simplex drives down.
 	Iters int
+	// Refactors totals basis LU factorizations performed by the sparse
+	// revised simplex across all sub-problems.
+	Refactors int
+	// LUFill totals the L+U nonzeros those factorizations produced — the
+	// solver's fill-in metric.
+	LUFill int
+	// CertInfeas totals dual-infeasible nodes accepted via a Farkas
+	// certificate check instead of a cold phase-1 re-proof.
+	CertInfeas int
 	// TimedOut reports that at least one sub-problem hit a solver budget
 	// and returned its incumbent instead of a proven optimum.
 	TimedOut bool

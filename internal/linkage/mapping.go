@@ -71,27 +71,36 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	// invariant under id relabeling).
 	ts := newTokenSpace()
 	var lTok, rTok [][][]uint32
-	var lVals, rVals [][]relation.Value
+	var lCols, rCols []matchCol
 	var sides sync.WaitGroup
 	sides.Add(1)
 	go func() {
 		defer sides.Done()
 		rTok = ts.tokenColumns(right, rightIdx)
-		rVals = materializeColumns(right, rightIdx)
+		rCols = matchColumns(right, rightIdx)
 	}()
 	lTok = ts.tokenColumns(left, leftIdx)
-	// Matched-column values materialized once, columnar → row-major only
-	// for the matched attributes.
-	lVals = materializeColumns(left, leftIdx)
+	// Matched-column cells surfaced once as typed row views (null flags +
+	// numeric values straight off the columnar storage) — the numeric
+	// similarity path in the scoring inner loop never boxes a Value.
+	lCols = matchColumns(left, leftIdx)
 	sides.Wait()
 	score := func(i, j int, out []Match) []Match {
 		total := 0.0
 		for k := range leftIdx {
-			lv, rv := lVals[k][i], rVals[k][j]
-			if lTok[k] != nil && rTok[k] != nil && !lv.IsNull() && !rv.IsNull() && !(lv.IsNumeric() && rv.IsNumeric()) {
+			lc, rc := &lCols[k], &rCols[k]
+			if lc.null[i] || rc.null[j] {
+				continue // NULL has similarity 0 to everything
+			}
+			switch {
+			case lc.num[i] && rc.num[j]:
+				total += NumericSim(lc.f[i], rc.f[j])
+			case lTok[k] != nil && rTok[k] != nil:
 				total += jaccardSorted(lTok[k][i], rTok[k][j])
-			} else {
-				total += ValueSim(lv, rv)
+			default:
+				// Asymmetric pair — a numeric-only column matched against
+				// a tokenized one: the generic kind-dispatched similarity.
+				total += ValueSim(lc.value(i), rc.value(j))
 			}
 		}
 		s := total / float64(len(leftIdx))
@@ -265,16 +274,84 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	return out, nil
 }
 
-// materializeColumns boxes the matched columns' values once so the scoring
-// inner loop indexes a flat slice instead of re-materializing cells.
-func materializeColumns(r *relation.Relation, idx []int) [][]relation.Value {
-	out := make([][]relation.Value, len(idx))
+// matchCol is one matched column's typed row view for the scoring loop:
+// null flags and numeric values are read straight off the columnar typed
+// arrays, with a boxed fallback kept only for columns whose cells can
+// still reach the generic ValueSim path (bool or mixed-kind columns).
+type matchCol struct {
+	null  []bool
+	num   []bool           // non-NULL numeric cell
+	f     []float64        // numeric value where num is set
+	boxed []relation.Value // non-nil only for bool/mixed columns
+	rel   *relation.Relation
+	col   int
+}
+
+// value materializes one cell for the rare generic-similarity fallback.
+func (mc *matchCol) value(i int) relation.Value {
+	if mc.boxed != nil {
+		return mc.boxed[i]
+	}
+	return mc.rel.At(i, mc.col)
+}
+
+// matchColumns builds the matched columns' typed row views. Homogeneous
+// INT/FLOAT/TEXT columns dispatch off their typed storage in O(rows) with
+// no Value boxing; only bool and mixed-kind columns fall back to boxing
+// once (the cost the whole-relation scan always paid).
+func matchColumns(r *relation.Relation, idx []int) []matchCol {
+	out := make([]matchCol, len(idx))
 	for k, c := range idx {
-		vals := make([]relation.Value, r.Len())
-		for i := range vals {
-			vals[i] = r.At(i, c)
+		n := r.Len()
+		mc := matchCol{null: make([]bool, n), rel: r, col: c}
+		if ints, nulls, ok := r.IntColumn(c); ok {
+			mc.num = make([]bool, n)
+			mc.f = make([]float64, n)
+			for i := range ints {
+				if relation.NullAt(nulls, i) {
+					mc.null[i] = true
+					continue
+				}
+				mc.num[i] = true
+				mc.f[i] = float64(ints[i])
+			}
+		} else if floats, nulls, ok := r.FloatColumn(c); ok {
+			mc.num = make([]bool, n)
+			mc.f = make([]float64, n)
+			for i := range floats {
+				if relation.NullAt(nulls, i) {
+					mc.null[i] = true
+					continue
+				}
+				mc.num[i] = true
+				mc.f[i] = floats[i]
+			}
+		} else if _, nulls, ok := r.StringColumn(c); ok {
+			// No cell is numeric, so num stays all-false and f (only read
+			// under num) can stay nil.
+			mc.num = make([]bool, n)
+			for i := 0; i < n; i++ {
+				mc.null[i] = relation.NullAt(nulls, i)
+			}
+		} else {
+			vals := make([]relation.Value, n)
+			mc.num = make([]bool, n)
+			mc.f = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v := r.At(i, c)
+				vals[i] = v
+				if v.IsNull() {
+					mc.null[i] = true
+					continue
+				}
+				if v.IsNumeric() {
+					mc.num[i] = true
+					mc.f[i], _ = v.AsFloat()
+				}
+			}
+			mc.boxed = vals
 		}
-		out[k] = vals
+		out[k] = mc
 	}
 	return out
 }

@@ -76,13 +76,13 @@ func SolveContext(ctx context.Context, m *Model, opt Options) (*Solution, error)
 		res := branchAndBound(ctx, sub, opt, warm, deadline)
 		sol.Nodes += res.nodes
 		sol.Iters += res.iters
+		sol.Refactors += res.refactors
+		sol.LUFill += res.luFill
+		sol.CertInfeas += res.certInfeas
 		switch res.status {
-		case StatusInfeasible:
-			return &Solution{Status: StatusInfeasible, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
-		case StatusUnbounded:
-			return &Solution{Status: StatusUnbounded, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
-		case StatusNoSolution:
-			return &Solution{Status: StatusNoSolution, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters}, nil
+		case StatusInfeasible, StatusUnbounded, StatusNoSolution:
+			return &Solution{Status: res.status, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters,
+				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas}, nil
 		case StatusLimit:
 			sol.Status = StatusLimit
 		}
@@ -175,11 +175,14 @@ func (m *Model) subModel(vars []int) (*Model, []int) {
 }
 
 type bbResult struct {
-	status    Status
-	objective float64
-	x         []float64
-	nodes     int
-	iters     int // simplex iterations across all node solves
+	status     Status
+	objective  float64
+	x          []float64
+	nodes      int
+	iters      int // simplex iterations across all node solves
+	refactors  int // basis LU factorizations (sparse engine)
+	luFill     int // total L+U nonzeros across factorizations
+	certInfeas int // Farkas-certified dual-infeasible verdicts
 }
 
 // bbNode is one branch-and-bound node, stored as a bound-delta chain
@@ -192,23 +195,24 @@ type bbNode struct {
 	lo, hi float64 // v's bounds at this node (one side differs from the parent)
 	depth  int
 	// Warm-start provenance: parentSeq names the solved LP state of the
-	// parent. A popped node warm-starts in place when the hot simplex
-	// still holds that state (the first child of a dive), or from snap
-	// when the dive has since moved on (the second child).
+	// parent. A popped node warm-starts in place when the engine still
+	// holds that state (the first child of a dive), or from snap when the
+	// dive has since moved on (the second child).
 	parentSeq uint64
-	snap      *lpSnapshot
+	snap      nodeSnap
 }
 
 // branchAndBound solves one block. Internally everything is a
 // minimization; maximization models are negated on entry and restored on
 // exit. Cancellation of ctx is treated exactly like an expired deadline.
 //
-// Node relaxations are solved by the warm-started dual simplex (dual.go)
-// whenever the parent's basis is available: the root and periodic
-// refactorization nodes pay for a full two-phase primal solve, every other
-// node applies its one bound delta to an existing optimal basis and
-// repairs it with dual pivots. Options.ColdLP restores the historical
-// solve-from-scratch behavior.
+// Node relaxations are solved by an lpEngine (engine.go): the sparse
+// revised simplex by default, the dense tableau under Options.DenseLP.
+// Whenever the parent's basis is available the engine warm-starts: the
+// root (and any engine-forced refactorization) pays for a full two-phase
+// primal solve, every other node applies its one bound delta to an
+// existing optimal basis and repairs it with dual pivots. Options.ColdLP
+// restores the historical solve-from-scratch behavior.
 func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, deadline time.Time) bbResult {
 	n := len(m.vars)
 	c := make([]float64, n)
@@ -246,20 +250,16 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
-	// Warm-start state: hot is the simplex instance holding the most
-	// recently solved node's optimal basis; seq identifies which node that
-	// is (0 = none). snapCells tracks outstanding snapshot memory against
-	// warmCellBudget, warmSince counts warm solves since the last cold
-	// rebuild.
+	// The LP engine holds all warm-start state: the most recently solved
+	// node's optimal basis (identified by seq; 0 = none), the snapshot
+	// memory budget, and the refactorization policy.
 	useWarm := !opt.ColdLP
-	var (
-		hot       *simplex
-		seq       uint64
-		nextSeq   uint64
-		snapCells int
-		warmSince int
-		iters     int
-	)
+	var eng lpEngine
+	if opt.DenseLP {
+		eng = &denseEngine{ctx: ctx, deadline: deadline, c: c, rows: m.rows, useWarm: useWarm}
+	} else {
+		eng = &sparseEngine{ctx: ctx, deadline: deadline, c: c, rows: m.rows, useWarm: useWarm}
+	}
 
 	// bounds materializes a node's full bound arrays (root bounds plus the
 	// delta chain, nearest node winning) into shared scratch space.
@@ -293,74 +293,14 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		return rootLB[v], rootUB[v]
 	}
 
-	// coldSolve rebuilds the tableau from scratch (the refactorization
-	// path). On optimality the fresh instance becomes the hot state so the
-	// node's children can warm-start; otherwise the previous hot state is
-	// left intact for other stack entries that still reference it.
-	coldSolve := func(node *bbNode) (lpStatus, float64, []float64) {
-		lb, ub := bounds(node)
-		st, obj, x, s := solveLPKeep(ctx, c, lb, ub, m.rows, deadline)
-		if s != nil {
-			iters += s.pivots
-		}
-		warmSince = 0
-		if st == lpOptimal && s != nil && useWarm {
-			hot = s
-			nextSeq++
-			seq = nextSeq
-		}
-		return st, obj, x
-	}
-
-	// warmSolve solves node from its parent's basis. ok=false means the
-	// caller must fall back to coldSolve: dimensions changed under a
-	// snapshot, the pivot cap was hit without the budget expiring, the
-	// final primal verification failed, or the dual concluded
-	// infeasibility (which is re-proved cold rather than trusted on an
-	// incrementally-updated tableau).
-	warmSolve := func(node *bbNode) (st lpStatus, obj float64, x []float64, ok bool) {
-		if node.snap != nil {
-			sn := node.snap
-			node.snap = nil
-			snapCells -= sn.cells
-			if hot == nil || !hot.restore(sn) {
-				return 0, 0, nil, false
-			}
-		} else if seq == 0 || node.parentSeq != seq {
-			return 0, 0, nil, false
-		}
-		seq = 0 // the hot basis mutates now; its previous identity is gone
-		if !hot.applyBound(node.v, node.lo, node.hi) {
-			return lpInfeasible, 0, nil, true // empty domain needs no proof
-		}
-		p0 := hot.pivots
-		dst := hot.dualIterate(dualPivotCap(hot.m))
-		if dst == lpOptimal {
-			// Primal verification/polish: recomputes reduced costs from the
-			// current tableau and pivots if anything is left on the table,
-			// so a warm node ends exactly as optimal as a cold one.
-			dst = hot.iterate(false)
-		}
-		iters += hot.pivots - p0
-		switch dst {
-		case lpOptimal:
-			warmSince++
-			nextSeq++
-			seq = nextSeq
-			return lpOptimal, hot.objective(), hot.values(), true
-		case lpIterLimit:
-			if expired() {
-				return lpIterLimit, 0, nil, true
-			}
-			return 0, 0, nil, false // pivot cap: numerical trouble
-		default: // lpInfeasible (re-prove cold), lpUnbounded (drift)
-			return 0, 0, nil, false
-		}
-	}
-
 	stack := []*bbNode{{v: -1}}
 	nodes := 0
 	hitLimit := false
+	finish := func(status Status, objective float64, x []float64) bbResult {
+		rf, lf, ci := eng.counters()
+		return bbResult{status: status, objective: objective, x: x,
+			nodes: nodes, iters: eng.iters(), refactors: rf, luFill: lf, certInfeas: ci}
+	}
 	for len(stack) > 0 {
 		if nodes >= opt.MaxNodes || expired() {
 			hitLimit = true
@@ -374,14 +314,16 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		var obj float64
 		var x []float64
 		solved := false
-		if useWarm && node.v >= 0 && warmSince < refactorEvery {
-			st, obj, x, solved = warmSolve(node)
-		} else if node.snap != nil {
-			snapCells -= node.snap.cells // refactorization turn: drop the snapshot
-			node.snap = nil
+		if useWarm && node.v >= 0 {
+			st, obj, x, solved = eng.warm(node)
 		}
 		if !solved {
-			st, obj, x = coldSolve(node)
+			if node.snap != nil {
+				eng.drop(node.snap) // refactorization turn: drop the snapshot
+				node.snap = nil
+			}
+			lbN, ubN := bounds(node)
+			st, obj, x = eng.cold(lbN, ubN)
 		}
 		switch st {
 		case lpInfeasible:
@@ -391,7 +333,7 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 			continue
 		case lpUnbounded:
 			if nodes == 1 {
-				return bbResult{status: StatusUnbounded, nodes: nodes, iters: iters}
+				return finish(StatusUnbounded, 0, nil)
 			}
 			continue
 		}
@@ -456,24 +398,23 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		// re-solves cold when popped.
 		fl := math.Floor(x[branchVar])
 		curLo, curHi := boundsOf(node, branchVar)
-		down := &bbNode{parent: node, v: branchVar, lo: curLo, hi: fl, depth: node.depth + 1, parentSeq: seq}
-		up := &bbNode{parent: node, v: branchVar, lo: fl + 1, hi: curHi, depth: node.depth + 1, parentSeq: seq}
+		down := &bbNode{parent: node, v: branchVar, lo: curLo, hi: fl, depth: node.depth + 1, parentSeq: eng.seq()}
+		up := &bbNode{parent: node, v: branchVar, lo: fl + 1, hi: curHi, depth: node.depth + 1, parentSeq: eng.seq()}
 		near, far := up, down
 		if x[branchVar]-fl > 0.5 {
 			near, far = down, up
 		}
-		if useWarm && seq != 0 && hot.m*hot.n <= warmCellBudget-snapCells {
-			far.snap = hot.snapshot()
-			snapCells += far.snap.cells
+		if useWarm {
+			far.snap = eng.snap()
 		}
 		stack = append(stack, far, near)
 	}
 
 	if bestX == nil {
 		if hitLimit {
-			return bbResult{status: StatusNoSolution, nodes: nodes, iters: iters}
+			return finish(StatusNoSolution, 0, nil)
 		}
-		return bbResult{status: StatusInfeasible, nodes: nodes, iters: iters}
+		return finish(StatusInfeasible, 0, nil)
 	}
 	status := StatusOptimal
 	if hitLimit {
@@ -484,7 +425,7 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 	for i := range bestX {
 		obj += m.vars[i].obj * bestX[i]
 	}
-	return bbResult{status: status, objective: obj, x: bestX, nodes: nodes, iters: iters}
+	return finish(status, obj, bestX)
 }
 
 // String summarizes model dimensions.

@@ -1,0 +1,271 @@
+package milp
+
+import (
+	"math"
+	"sort"
+)
+
+// Sparse LU factorization of the simplex basis, plus the product-form eta
+// file that absorbs pivots between refactorizations. Together they replace
+// the dense B⁻¹A tableau: FTRAN (B x = a) and BTRAN (Bᵀ y = c) solve
+// against L·U and then replay the eta file, so per-pivot cost is
+// proportional to factor nonzeros instead of m·n tableau cells.
+
+const (
+	// luTau is the threshold for partial pivoting: any candidate within
+	// tau of the column's largest magnitude is acceptable, and among those
+	// the row with the smallest Markowitz-style degree wins (less fill).
+	luTau = 0.1
+	// luAbsTol is the magnitude below which a pivot counts as zero — the
+	// factorization reports the basis singular.
+	luAbsTol = 1e-10
+	// etaStabTol is the eta-diagonal magnitude below which the update is
+	// numerically untrustworthy and a refactorization is forced.
+	etaStabTol = 1e-7
+)
+
+// luFactors is an immutable LU factorization of one basis: B·Q = Pᵀ·L·U
+// with Q the column processing order and P the row pivot order. Columns of
+// L (unit diagonal omitted, original row indices) and U (pivot-step
+// indices, diagonal separate) are stored compressed. Instances are never
+// mutated after factorization, so warm-start snapshots share them freely.
+type luFactors struct {
+	m         int
+	colOrder  []int32   // step k factors basis position colOrder[k]
+	pivRow    []int32   // step k's pivot row (original row index)
+	pivVal    []float64 // U diagonal
+	lPtr      []int32
+	lRow      []int32 // original row indices, strictly below the pivot
+	lVal      []float64
+	uPtr      []int32
+	uStep     []int32 // pivot-step indices t < k
+	uVal      []float64
+	stepOfRow []int32 // original row → pivot step
+	nnz       int     // fill-in metric: L + U + diagonal nonzeros
+}
+
+// factorizeBasis computes the LU factors of the basis columns (indices
+// into the sparse matrix's column space). It orders columns by nonzero
+// count (singleton logicals factor first) and pivots Markowitz-style:
+// threshold partial pivoting with row-degree tie-breaking. Reports
+// ok=false when the basis is singular to working precision.
+func factorizeBasis(a *sparseMatrix, basis []int) (*luFactors, bool) {
+	m := a.m
+	f := &luFactors{
+		m:         m,
+		colOrder:  make([]int32, m),
+		pivRow:    make([]int32, m),
+		pivVal:    make([]float64, m),
+		lPtr:      make([]int32, m+1),
+		uPtr:      make([]int32, m+1),
+		stepOfRow: make([]int32, m),
+	}
+	for p := range f.colOrder {
+		f.colOrder[p] = int32(p)
+	}
+	sort.Slice(f.colOrder, func(x, y int) bool {
+		cx, cy := f.colOrder[x], f.colOrder[y]
+		nx, ny := a.colNNZ(basis[cx]), a.colNNZ(basis[cy])
+		if nx != ny {
+			return nx < ny
+		}
+		return cx < cy
+	})
+	// Markowitz row degrees over the basis pattern, decremented as columns
+	// are consumed (fill is not counted — an approximation that keeps the
+	// bookkeeping O(nnz)).
+	rowCnt := make([]int32, m)
+	forEachEntry := func(j int, fn func(i int32)) {
+		if j < a.nv {
+			for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+				fn(a.rowIdx[p])
+			}
+			return
+		}
+		i, _ := a.colEntry(j)
+		fn(i)
+	}
+	for _, j := range basis {
+		forEachEntry(j, func(i int32) { rowCnt[i]++ })
+	}
+	work := make([]float64, m)
+	mark := make([]int32, m)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for i := range f.stepOfRow {
+		f.stepOfRow[i] = -1
+	}
+	pattern := make([]int32, 0, 64)
+	for k := 0; k < m; k++ {
+		j := basis[f.colOrder[k]]
+		pattern = pattern[:0]
+		add := func(r int32) {
+			if mark[r] != int32(k) {
+				mark[r] = int32(k)
+				pattern = append(pattern, r)
+			}
+		}
+		if j < a.nv {
+			for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+				r := a.rowIdx[p]
+				add(r)
+				work[r] += a.colVal[p]
+			}
+		} else {
+			r, v := a.colEntry(j)
+			add(r)
+			work[r] += v
+		}
+		// Left-looking elimination: apply every earlier step whose pivot
+		// row carries a nonzero. Rows pivotal at step t receive no updates
+		// after t, so work[pivRow[t]] is final when step t is reached.
+		for t := 0; t < k; t++ {
+			pr := f.pivRow[t]
+			ut := work[pr]
+			if ut == 0 {
+				continue
+			}
+			f.uStep = append(f.uStep, int32(t))
+			f.uVal = append(f.uVal, ut)
+			for p := f.lPtr[t]; p < f.lPtr[t+1]; p++ {
+				r := f.lRow[p]
+				add(r)
+				work[r] -= ut * f.lVal[p]
+			}
+		}
+		f.uPtr[k+1] = int32(len(f.uStep))
+		maxAbs := 0.0
+		for _, r := range pattern {
+			if f.stepOfRow[r] >= 0 {
+				continue
+			}
+			if v := math.Abs(work[r]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs <= luAbsTol {
+			for _, r := range pattern {
+				work[r] = 0
+			}
+			return nil, false
+		}
+		thresh := maxAbs * luTau
+		best := int32(-1)
+		var bestCnt int32
+		for _, r := range pattern {
+			if f.stepOfRow[r] >= 0 || math.Abs(work[r]) < thresh {
+				continue
+			}
+			if best < 0 || rowCnt[r] < bestCnt || (rowCnt[r] == bestCnt && r < best) {
+				best, bestCnt = r, rowCnt[r]
+			}
+		}
+		piv := work[best]
+		f.pivRow[k] = best
+		f.pivVal[k] = piv
+		f.stepOfRow[best] = int32(k)
+		for _, r := range pattern {
+			if f.stepOfRow[r] < 0 && work[r] != 0 {
+				f.lRow = append(f.lRow, r)
+				f.lVal = append(f.lVal, work[r]/piv)
+			}
+			work[r] = 0
+		}
+		f.lPtr[k+1] = int32(len(f.lRow))
+		forEachEntry(j, func(i int32) { rowCnt[i]-- })
+	}
+	f.nnz = len(f.lVal) + len(f.uVal) + m
+	return f, true
+}
+
+// ftran solves B x = b against the factors alone (no etas). b is dense in
+// row space and is consumed; the solution lands in out, indexed by basis
+// position. ord is an m-length scratch.
+func (f *luFactors) ftran(b, out, ord []float64) {
+	for k := 0; k < f.m; k++ {
+		xk := b[f.pivRow[k]]
+		if xk != 0 {
+			for p := f.lPtr[k]; p < f.lPtr[k+1]; p++ {
+				b[f.lRow[p]] -= xk * f.lVal[p]
+			}
+		}
+		ord[k] = xk
+	}
+	for k := f.m - 1; k >= 0; k-- {
+		zk := ord[k] / f.pivVal[k]
+		if zk != 0 {
+			for p := f.uPtr[k]; p < f.uPtr[k+1]; p++ {
+				ord[f.uStep[p]] -= f.uVal[p] * zk
+			}
+		}
+		ord[k] = zk
+	}
+	for k := 0; k < f.m; k++ {
+		out[f.colOrder[k]] = ord[k]
+	}
+}
+
+// btran solves Bᵀ y = c against the factors alone (no etas). c is indexed
+// by basis position (read-only); the solution lands in out, indexed by
+// row. ord is an m-length scratch.
+func (f *luFactors) btran(c, out, ord []float64) {
+	for k := 0; k < f.m; k++ {
+		s := c[f.colOrder[k]]
+		for p := f.uPtr[k]; p < f.uPtr[k+1]; p++ {
+			s -= f.uVal[p] * ord[f.uStep[p]]
+		}
+		ord[k] = s / f.pivVal[k]
+	}
+	for k := f.m - 1; k >= 0; k-- {
+		s := ord[k]
+		for p := f.lPtr[k]; p < f.lPtr[k+1]; p++ {
+			s -= f.lVal[p] * ord[f.stepOfRow[f.lRow[p]]]
+		}
+		ord[k] = s
+	}
+	for k := 0; k < f.m; k++ {
+		out[f.pivRow[k]] = ord[k]
+	}
+}
+
+// eta is one product-form basis update: a pivot that brought a column into
+// basis position pos with FTRAN'd column α makes the new basis B' = B·E,
+// E = I except column pos = α. FTRAN post-applies E⁻¹ in file order; BTRAN
+// pre-applies E⁻ᵀ in reverse order. Etas are immutable once appended —
+// snapshots share the file by prefix length (capped slices make appends
+// copy-on-write), which is what keeps warm-start snapshots O(bounds)
+// instead of O(tableau).
+type eta struct {
+	pos  int32
+	diag float64
+	idx  []int32
+	val  []float64
+}
+
+// applyEtasFtran replays the eta file over a basis-position-space vector.
+func applyEtasFtran(etas []eta, x []float64) {
+	for e := range etas {
+		et := &etas[e]
+		xp := x[et.pos] / et.diag
+		x[et.pos] = xp
+		if xp != 0 {
+			for i, r := range et.idx {
+				x[r] -= et.val[i] * xp
+			}
+		}
+	}
+}
+
+// applyEtasBtran replays the eta file transposed, in reverse, over a
+// basis-position-space vector.
+func applyEtasBtran(etas []eta, c []float64) {
+	for e := len(etas) - 1; e >= 0; e-- {
+		et := &etas[e]
+		s := c[et.pos]
+		for i, r := range et.idx {
+			s -= et.val[i] * c[r]
+		}
+		c[et.pos] = s / et.diag
+	}
+}

@@ -205,11 +205,18 @@ type Options struct {
 	// DisableBlocks turns off block decomposition (solve as one problem).
 	DisableBlocks bool
 	// ColdLP disables the warm-started dual simplex: every branch-and-bound
-	// node rebuilds its tableau and solves phase 1/phase 2 from scratch.
+	// node rebuilds its basis and solves phase 1/phase 2 from scratch.
 	// The warm and cold paths return identical statuses and objectives;
 	// this switch exists for benchmarks, equivalence tests, and as an
 	// escape hatch.
 	ColdLP bool
+	// DenseLP routes every node relaxation through the historical
+	// dense-tableau simplex instead of the sparse revised simplex
+	// (LU-factorized basis + eta-file updates). The dense path is the
+	// reference implementation: differential tests assert both engines
+	// agree on statuses and objectives. Note the dense engine refuses
+	// relaxations above maxTableauCells; the sparse engine has no such cap.
+	DenseLP bool
 }
 
 func (o Options) withDefaults() Options {
@@ -233,6 +240,16 @@ type Solution struct {
 	// bound flips, and dual pivots) across all branch-and-bound nodes —
 	// the per-node effort metric the warm-started solver drives down.
 	Iters int
+	// Refactors counts basis LU factorizations performed by the sparse
+	// revised simplex (crash factorizations plus eta-file-length and
+	// stability-triggered rebuilds). Zero under Options.DenseLP.
+	Refactors int
+	// LUFill totals the L+U nonzeros produced by those factorizations —
+	// the solver's fill-in metric.
+	LUFill int
+	// CertInfeas counts warm dual-infeasible verdicts accepted via a
+	// direct Farkas certificate check instead of a cold phase-1 re-proof.
+	CertInfeas int
 }
 
 // Value returns the solved value of v.

@@ -1,0 +1,151 @@
+package milp
+
+// Sparse storage of the working LP's constraint matrix. Explain3D's
+// linearized constraints are naturally sparse — each McCormick/indicator
+// row touches a handful of pair variables — so the revised simplex works
+// on compressed columns and rows instead of a dense m×n tableau.
+//
+// The column space mirrors the dense solver's layout: the nv structural
+// variables first, then one slack per inequality row, then one artificial
+// per row (every row gets one; rows that never need theirs keep it fixed
+// at [0,0]). Structural coefficients are stored twice — CSC for FTRAN
+// pivot columns and pricing dot products, CSR for BTRAN pivot rows — and
+// logical (slack/artificial) columns are singletons handled analytically.
+
+// sparseMatrix is the immutable constraint matrix of one branch-and-bound
+// block in CSC + CSR form. It is built once per block and shared by every
+// node solve.
+type sparseMatrix struct {
+	m, nv  int // rows, structural columns
+	nSlack int
+	n      int // total columns: nv + nSlack + m artificials
+	// CSC over the structural columns.
+	colPtr []int32
+	rowIdx []int32
+	colVal []float64
+	// CSR over the structural columns.
+	rowPtr []int32
+	colIdx []int32
+	rowVal []float64
+	// Right-hand sides and logical-column bookkeeping.
+	rhs       []float64
+	slackOf   []int32   // row → global slack column, -1 for EQ rows
+	slackSign []float64 // row → slack coefficient (+1 LE, -1 GE, 0 EQ)
+	rowOfCol  []int32   // logical column (offset nv) → its row
+}
+
+// artStart returns the first artificial column.
+func (a *sparseMatrix) artStart() int { return a.nv + a.nSlack }
+
+// newSparseMatrix compresses the model rows.
+func newSparseMatrix(nv int, rows []rowData) *sparseMatrix {
+	m := len(rows)
+	nnz := 0
+	nSlack := 0
+	for _, r := range rows {
+		nnz += len(r.terms)
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	a := &sparseMatrix{
+		m: m, nv: nv, nSlack: nSlack, n: nv + nSlack + m,
+		colPtr:    make([]int32, nv+1),
+		rowIdx:    make([]int32, nnz),
+		colVal:    make([]float64, nnz),
+		rowPtr:    make([]int32, m+1),
+		colIdx:    make([]int32, nnz),
+		rowVal:    make([]float64, nnz),
+		rhs:       make([]float64, m),
+		slackOf:   make([]int32, m),
+		slackSign: make([]float64, m),
+		rowOfCol:  make([]int32, nSlack+m),
+	}
+	// CSR is a direct copy of the (merged, duplicate-free) row terms; CSC is
+	// built by counting sort on the column index.
+	for i, r := range rows {
+		a.rhs[i] = r.rhs
+		a.rowPtr[i+1] = a.rowPtr[i] + int32(len(r.terms))
+		base := a.rowPtr[i]
+		for k, t := range r.terms {
+			a.colIdx[base+int32(k)] = int32(t.Var)
+			a.rowVal[base+int32(k)] = t.Coef
+			a.colPtr[t.Var+1]++
+		}
+	}
+	for j := 0; j < nv; j++ {
+		a.colPtr[j+1] += a.colPtr[j]
+	}
+	next := append([]int32(nil), a.colPtr[:nv]...)
+	for i, r := range rows {
+		for _, t := range r.terms {
+			p := next[t.Var]
+			a.rowIdx[p] = int32(i)
+			a.colVal[p] = t.Coef
+			next[t.Var]++
+		}
+	}
+	slack := int32(nv)
+	for i, r := range rows {
+		switch r.sense {
+		case LE:
+			a.slackOf[i] = slack
+			a.slackSign[i] = 1
+		case GE:
+			a.slackOf[i] = slack
+			a.slackSign[i] = -1
+		default:
+			a.slackOf[i] = -1
+			continue
+		}
+		a.rowOfCol[slack-int32(nv)] = int32(i)
+		slack++
+	}
+	for i := 0; i < m; i++ {
+		a.rowOfCol[nSlack+i] = int32(i)
+	}
+	return a
+}
+
+// colNNZ returns the number of nonzeros of column j (1 for logicals).
+func (a *sparseMatrix) colNNZ(j int) int {
+	if j < a.nv {
+		return int(a.colPtr[j+1] - a.colPtr[j])
+	}
+	return 1
+}
+
+// scatterCol adds column j into the dense work vector (indexed by row).
+// Logical columns are singletons.
+func (a *sparseMatrix) scatterCol(j int, work []float64) {
+	if j < a.nv {
+		for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+			work[a.rowIdx[p]] += a.colVal[p]
+		}
+		return
+	}
+	i, v := a.colEntry(j)
+	work[i] += v
+}
+
+// colEntry returns the single (row, value) entry of a logical column.
+func (a *sparseMatrix) colEntry(j int) (int32, float64) {
+	i := a.rowOfCol[j-a.nv]
+	if j < a.artStart() {
+		return i, a.slackSign[i]
+	}
+	return i, 1
+}
+
+// dotCol computes yᵀ·A_j for a row-space vector y.
+func (a *sparseMatrix) dotCol(y []float64, j int) float64 {
+	if j < a.nv {
+		s := 0.0
+		for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+			s += y[a.rowIdx[p]] * a.colVal[p]
+		}
+		return s
+	}
+	i, v := a.colEntry(j)
+	return y[i] * v
+}

@@ -339,6 +339,61 @@ func TestJoinAllocsRegression(t *testing.T) {
 	}
 }
 
+// TestJoinBuildSideAllocs pins the flat open-addressing build side: the
+// whole index is a constant number of allocations however many distinct
+// keys the build rows carry (the map build boxed one []int32 per key).
+func TestJoinBuildSideAllocs(t *testing.T) {
+	const rows = 2048
+	r := relation.New("R", "k")
+	for i := 0; i < rows; i++ {
+		r.Append(int64(i)) // all-distinct keys: worst case for per-key boxing
+	}
+	keys := keyColumns(r, []int{0}, r.Dict())
+	allocs := testing.AllocsPerRun(10, func() {
+		buildJoinIndex(keys, rows)
+	})
+	if allocs > 4 {
+		t.Fatalf("buildJoinIndex allocations = %.0f for %d distinct keys; want ≤ 4 (flat table)", allocs, rows)
+	}
+}
+
+// TestJoinBuildSideChainOrder pins the byte-identical contract on the
+// duplicate chains: probing must yield right rows in ascending id order —
+// exactly the order the map build (ascending appends) produced — including
+// under hash collisions and interleaved NULL keys.
+func TestJoinBuildSideChainOrder(t *testing.T) {
+	r := relation.New("R", "k")
+	vals := []any{int64(7), nil, int64(3), int64(7), int64(3), int64(7), nil, int64(11)}
+	for _, v := range vals {
+		r.Append(v)
+	}
+	keys := keyColumns(r, []int{0}, r.Dict())
+	ix := buildJoinIndex(keys, r.Len())
+	want := map[int64][]int32{7: {0, 3, 5}, 3: {2, 4}, 11: {7}}
+	for k, rows := range want {
+		probe := relation.New("P", "k").Append(k)
+		pk := keyColumns(probe, []int{0}, r.Dict())
+		var got []int32
+		for j := ix.probe(relation.HashRow(pk, 0)); j >= 0; j = ix.next[j] {
+			got = append(got, j)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("key %d: chain %v, want %v", k, got, rows)
+		}
+		for i := range rows {
+			if got[i] != rows[i] {
+				t.Fatalf("key %d: chain %v, want %v (ascending row order)", k, got, rows)
+			}
+		}
+	}
+	// NULL rows never enter any chain.
+	for _, j := range []int32{1, 6} {
+		if ix.next[j] != -1 {
+			t.Fatalf("NULL row %d appears in a chain", j)
+		}
+	}
+}
+
 // TestGroupByAllocsRegression does the same for the packed-key GROUP BY.
 func TestGroupByAllocsRegression(t *testing.T) {
 	db := allocsDB(600)

@@ -214,19 +214,12 @@ func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) 
 		target := left.Dict()
 		lKeys := keyColumns(left, hashL, target)
 		rKeys := keyColumns(right, hashR, target)
-		index := make(map[uint64][]int32, right.Len())
-		for j := 0; j < right.Len(); j++ {
-			if anyKeyNull(rKeys, j) {
-				continue
-			}
-			h := relation.HashRow(rKeys, j)
-			index[h] = append(index[h], int32(j))
-		}
+		index := buildJoinIndex(rKeys, right.Len())
 		for i := 0; i < left.Len(); i++ {
 			if anyKeyNull(lKeys, i) {
 				continue
 			}
-			for _, j := range index[relation.HashRow(lKeys, i)] {
+			for j := index.probe(relation.HashRow(lKeys, i)); j >= 0; j = index.next[j] {
 				if relation.RowKeysEqual(lKeys, i, rKeys, int(j)) {
 					selL = append(selL, int32(i))
 					selR = append(selR, j)
@@ -282,6 +275,69 @@ func join(ev *evaluator, left, right *relation.Relation, conds []sqlparse.Expr) 
 		}
 	}
 	return relation.ConcatGather(name, sch, left, selL, right, selR), nil
+}
+
+// joinIndex is the hash-join build side: a flat open-addressing table
+// (linear probing, ≤50% load) keyed on the 64-bit row-key hash, with
+// per-row next links forming each hash's duplicate chain. It replaces the
+// former map[uint64][]int32, which boxed one slice per distinct key; the
+// whole build is four allocations regardless of key count. As with the
+// map, rows are grouped by hash and probes verify the packed keys exactly.
+type joinIndex struct {
+	mask   uint64
+	hashes []uint64
+	heads  []int32 // slot → first right row id of the chain, -1 empty
+	next   []int32 // right row id → next row with the same hash, -1 end
+}
+
+// buildJoinIndex indexes the right side's non-NULL key rows. Rows insert
+// in descending order with chain-prepends, so every chain iterates in
+// ascending row order — byte-identical join output to the map build, which
+// appended row ids in ascending order.
+func buildJoinIndex(rKeys [][]relation.CellKey, n int) *joinIndex {
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	ix := &joinIndex{
+		mask:   uint64(size - 1),
+		hashes: make([]uint64, size),
+		heads:  make([]int32, size),
+		next:   make([]int32, n),
+	}
+	for s := range ix.heads {
+		ix.heads[s] = -1
+	}
+	for j := n - 1; j >= 0; j-- {
+		ix.next[j] = -1
+		if anyKeyNull(rKeys, j) {
+			continue
+		}
+		h := relation.HashRow(rKeys, j)
+		s := h & ix.mask
+		for ix.heads[s] >= 0 && ix.hashes[s] != h {
+			s = (s + 1) & ix.mask
+		}
+		ix.hashes[s] = h
+		ix.next[j] = ix.heads[s]
+		ix.heads[s] = int32(j)
+	}
+	return ix
+}
+
+// probe returns the first right row of the given hash's chain (-1 when the
+// hash is absent); follow next links for the rest.
+func (ix *joinIndex) probe(h uint64) int32 {
+	s := h & ix.mask
+	for {
+		if ix.heads[s] < 0 {
+			return -1
+		}
+		if ix.hashes[s] == h {
+			return ix.heads[s]
+		}
+		s = (s + 1) & ix.mask
+	}
 }
 
 // joinBatchPairs bounds how many candidate pairs filterPairs materializes
