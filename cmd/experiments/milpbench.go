@@ -10,15 +10,24 @@ import (
 	"explain3d/internal/milp"
 )
 
-// milpbench runs a fixed set of solver workloads through both LP engines
-// (sparse revised simplex, dense tableau) and writes the measurements to a
-// JSON baseline. The workloads are frozen — same models, same seeds — so a
-// diff of BENCH_milp.json across PRs is a diff of solver performance, not
-// of workload drift.
+// milpbench runs a fixed set of solver workloads through the three LP engine
+// modes (sparse revised simplex, dense tableau, adaptive per-block choice)
+// and writes the measurements to a JSON baseline. The workloads are frozen —
+// same models, same seeds — so a diff of BENCH_milp.json across PRs is a
+// diff of solver performance, not of workload drift. The run doubles as a
+// perf smoke: it fails if the engines disagree on any verdict or objective,
+// or if the adaptive mode falls more than 10% behind the best fixed engine's
+// pivot throughput on any workload.
 
-// milpBenchResult is one (workload, engine) measurement.
+// milpBenchResult is one (workload, engine) measurement. Rows/Cols/NNZ and
+// the nonzero density describe the model's constraint-matrix shape — the
+// signal the adaptive engine choice keys on.
 type milpBenchResult struct {
 	Workload   string  `json:"workload"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	NNZ        int     `json:"nnz"`
+	Density    float64 `json:"nnzDensity"`
 	Engine     string  `json:"engine"`
 	Status     string  `json:"status"`
 	Objective  float64 `json:"objective"`
@@ -29,6 +38,10 @@ type milpBenchResult struct {
 	Refactors  int     `json:"refactors"`
 	LUFill     int     `json:"luFill"`
 	CertInfeas int     `json:"certInfeas"`
+	// Block engine split — meaningful for the adaptive row, where it records
+	// the per-block choices the shape heuristic made.
+	SparseBlocks int `json:"sparseBlocks"`
+	DenseBlocks  int `json:"denseBlocks"`
 }
 
 // knapsackConflicts mirrors the milp package's benchmark model: binaries
@@ -98,6 +111,51 @@ func pigeonhole(holes int) *milp.Model {
 	return m
 }
 
+// measureEngine times one (workload, engine) pair, repeating the solve on
+// fresh models until enough wall time accumulates that the pivots/sec figure
+// is timer-granularity-proof (the pigeonhole tree solves in microseconds).
+func measureEngine(build func() *milp.Model, opt milp.Options) (milpBenchResult, error) {
+	const (
+		minWall = 100 * time.Millisecond
+		maxReps = 50
+	)
+	var r milpBenchResult
+	totalIters, totalSec := 0, 0.0
+	for rep := 0; rep < maxReps; rep++ {
+		model := build()
+		start := time.Now()
+		sol, err := milp.Solve(model, opt)
+		if err != nil {
+			return r, err
+		}
+		sec := time.Since(start).Seconds()
+		totalIters += sol.Iters
+		totalSec += sec
+		if rep == 0 {
+			r = milpBenchResult{
+				Rows: model.NumRows(), Cols: model.NumVars(), NNZ: model.NumNonzeros(),
+				Status:    sol.Status.String(),
+				Objective: sol.Objective,
+				Nodes:     sol.Nodes,
+				Iters:     sol.Iters,
+				Seconds:   sec,
+				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas,
+				SparseBlocks: sol.SparseBlocks, DenseBlocks: sol.DenseBlocks,
+			}
+			if r.Rows > 0 && r.Cols > 0 {
+				r.Density = float64(r.NNZ) / (float64(r.Rows) * float64(r.Cols))
+			}
+		}
+		if totalSec >= minWall.Seconds() {
+			break
+		}
+	}
+	if totalSec > 0 {
+		r.PivotsPerS = float64(totalIters) / totalSec
+	}
+	return r, nil
+}
+
 func milpbench(outPath string) error {
 	type workload struct {
 		name  string
@@ -112,44 +170,45 @@ func milpbench(outPath string) error {
 		name string
 		opt  milp.Options
 	}{
-		{"sparse", milp.Options{}},
-		{"dense", milp.Options{DenseLP: true}},
+		{"sparse", milp.Options{Engine: milp.EngineSparse}},
+		{"dense", milp.Options{Engine: milp.EngineDense}},
+		{"adaptive", milp.Options{}}, // zero value = EngineAdaptive
 	}
 	var results []milpBenchResult
 	for _, w := range workloads {
-		for _, e := range engines {
-			model := w.build()
-			start := time.Now()
-			sol, err := milp.Solve(model, e.opt)
+		perEngine := make([]milpBenchResult, len(engines))
+		for ei, e := range engines {
+			r, err := measureEngine(w.build, e.opt)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", w.name, e.name, err)
 			}
-			sec := time.Since(start).Seconds()
-			r := milpBenchResult{
-				Workload:  w.name,
-				Engine:    e.name,
-				Status:    sol.Status.String(),
-				Objective: sol.Objective,
-				Nodes:     sol.Nodes,
-				Iters:     sol.Iters,
-				Seconds:   sec,
-				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas,
-			}
-			if sec > 0 {
-				r.PivotsPerS = float64(sol.Iters) / sec
-			}
+			r.Workload, r.Engine = w.name, e.name
+			perEngine[ei] = r
 			results = append(results, r)
-			fmt.Printf("  %-22s %-7s %-10s obj=%-8.6g nodes=%-6d iters=%-7d %8.0f pivots/s  refactors=%d fill=%d cert=%d\n",
-				w.name, e.name, r.Status, r.Objective, r.Nodes, r.Iters, r.PivotsPerS, r.Refactors, r.LUFill, r.CertInfeas)
+			fmt.Printf("  %-22s %-9s %-10s obj=%-8.6g nodes=%-6d iters=%-7d %8.0f pivots/s  blocks=%d/%d refactors=%d fill=%d cert=%d\n",
+				w.name, e.name, r.Status, r.Objective, r.Nodes, r.Iters, r.PivotsPerS, r.SparseBlocks, r.DenseBlocks, r.Refactors, r.LUFill, r.CertInfeas)
 		}
-	}
-	// Baseline sanity: both engines must agree on every workload's verdict
-	// and objective before the file is worth writing.
-	for i := 0; i < len(results); i += 2 {
-		s, d := results[i], results[i+1]
-		if s.Status != d.Status || (s.Status == "optimal" && !floatsClose(s.Objective, d.Objective)) {
-			return fmt.Errorf("%s: engines disagree: sparse %s/%g, dense %s/%g",
-				s.Workload, s.Status, s.Objective, d.Status, d.Objective)
+		// Baseline sanity: every engine mode must agree on the workload's
+		// verdict and objective before the file is worth writing.
+		base := perEngine[0]
+		for _, r := range perEngine[1:] {
+			if r.Status != base.Status || (base.Status == "optimal" && !floatsClose(r.Objective, base.Objective)) {
+				return fmt.Errorf("%s: engines disagree: %s %s/%g, %s %s/%g",
+					w.name, base.Engine, base.Status, base.Objective, r.Engine, r.Status, r.Objective)
+			}
+		}
+		// Perf smoke: the adaptive mode must hold at least 90% of the best
+		// fixed engine's pivot throughput on every workload — its per-block
+		// choice is only worth having if it never loses badly to either
+		// forced mode.
+		sparse, dense, adaptive := perEngine[0], perEngine[1], perEngine[2]
+		best := sparse.PivotsPerS
+		if dense.PivotsPerS > best {
+			best = dense.PivotsPerS
+		}
+		if adaptive.PivotsPerS < 0.9*best {
+			return fmt.Errorf("%s: adaptive engine at %.0f pivots/s, best fixed engine %.0f — more than 10%% behind",
+				w.name, adaptive.PivotsPerS, best)
 		}
 	}
 	blob, err := json.MarshalIndent(results, "", "  ")

@@ -94,6 +94,8 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 		st.Refactors = sol.Refactors
 		st.LUFill = sol.LUFill
 		st.CertInfeas = sol.CertInfeas
+		st.SparseBlocks = sol.SparseBlocks
+		st.DenseBlocks = sol.DenseBlocks
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusLimit:
@@ -171,6 +173,8 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 		stats.Refactors += subStats[si].Refactors
 		stats.LUFill += subStats[si].LUFill
 		stats.CertInfeas += subStats[si].CertInfeas
+		stats.SparseBlocks += subStats[si].SparseBlocks
+		stats.DenseBlocks += subStats[si].DenseBlocks
 		if subStats[si].TimedOut {
 			stats.TimedOut = true
 		}

@@ -221,6 +221,9 @@ type Stats struct {
 	// CertInfeas totals dual-infeasible nodes accepted via a Farkas
 	// certificate check instead of a cold phase-1 re-proof.
 	CertInfeas int
+	// SparseBlocks/DenseBlocks total the per-block LP engine choices the
+	// solver's adaptive heuristic made across all sub-problems.
+	SparseBlocks, DenseBlocks int
 	// TimedOut reports that at least one sub-problem hit a solver budget
 	// and returned its incumbent instead of a proven optimum.
 	TimedOut bool

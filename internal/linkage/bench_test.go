@@ -108,3 +108,30 @@ func BenchmarkSimilaritiesInvertedDenseVocab(b *testing.B) {
 func BenchmarkSimilaritiesInvertedParallel(b *testing.B) {
 	benchSimilarities(b, 4000, 1000, false, 0)
 }
+
+// MinSharedTokens > 1 on the dense-vocabulary workload isolates the
+// per-left-row prefix filter: with long posting lists every row's skip
+// budget lands on its own most expensive merges, on top of the global
+// stop-word prune (the Off variant).
+func benchPrefixFilter(b *testing.B, off bool) {
+	left, right := benchPair(2000, 200, 99)
+	idx := []int{0, 1}
+	opt := DefaultPairOptions()
+	opt.Workers = 1
+	opt.MinSharedTokens = 3
+	disableRowPrefixFilter = off
+	defer func() { disableRowPrefixFilter = false }()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		ms, err := Similarities(left, right, idx, idx, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(ms)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "matches")
+}
+
+func BenchmarkSimilaritiesPrefixFilterOn(b *testing.B)  { benchPrefixFilter(b, false) }
+func BenchmarkSimilaritiesPrefixFilterOff(b *testing.B) { benchPrefixFilter(b, true) }

@@ -80,12 +80,13 @@ func TestSimilaritiesMatchesPairwiseReference(t *testing.T) {
 		for j := range idx {
 			idx[j] = j
 		}
-		// MinSharedTokens up to 3 exercises the skipped-posting-list path
-		// (stop-word pruning plus exact candidate verification).
+		// MinSharedTokens up to 4 exercises the skipped-posting-list paths
+		// (global stop-word pruning, per-row prefix filtering with skip
+		// budgets up to 3, and exact candidate verification).
 		opt := PairOptions{
 			MinSim:          []float64{0, 0.05, 0.3}[rng.Intn(3)],
 			Block:           rng.Intn(4) != 0,
-			MinSharedTokens: 1 + rng.Intn(3),
+			MinSharedTokens: 1 + rng.Intn(4),
 		}
 		want, err := SimilaritiesPairwise(left, right, idx, idx, opt)
 		if err != nil {
@@ -138,6 +139,64 @@ func TestSimilaritiesStopWordPruning(t *testing.T) {
 				t.Fatal(err)
 			}
 			matchesEqual(t, fmt.Sprintf("stop-word minShared=%d workers=%d", minShared, workers), got, want)
+		}
+	}
+}
+
+// TestSimilaritiesPerRowPrefixFilter forces the per-left-row prefix filter
+// beyond the global stop-word prune: several tokens appear in most rows of
+// both sides, so with the global skip budget exhausted on one of them each
+// left row must still row-skip its own remaining long posting lists. Pairs
+// whose shared tokens are exactly the skipped ones plus a tail token sit in
+// the uncertain band and must survive only through the exact shared-count
+// verification — byte-identically to the pairwise reference.
+func TestSimilaritiesPerRowPrefixFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	common := []string{"the", "of", "and"}
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	build := func(name string, rows int) *relation.Relation {
+		r := relation.New(name, "c0")
+		for i := 0; i < rows; i++ {
+			// Each row carries one to three of the high-frequency tokens
+			// plus one or two rare ones, so row-local posting lists differ
+			// and the longest-surviving selection varies per row.
+			s := ""
+			for k := 0; k <= rng.Intn(3); k++ {
+				s += common[rng.Intn(len(common))] + " "
+			}
+			s += vocab[rng.Intn(len(vocab))]
+			if rng.Intn(2) == 0 {
+				s += " " + vocab[rng.Intn(len(vocab))]
+			}
+			r.Append(s)
+		}
+		return r
+	}
+	left, right := build("L", 60), build("R", 60)
+	for _, minShared := range []int{2, 3, 4} {
+		opt := PairOptions{MinSim: 0, Block: true, MinSharedTokens: minShared}
+		want, err := SimilaritiesPairwise(left, right, []int{0}, []int{0}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if minShared < 4 && len(want) == 0 {
+			t.Fatalf("minShared=%d: degenerate workload, no reference matches", minShared)
+		}
+		for _, workers := range []int{1, 4} {
+			opt.Workers = workers
+			got, err := Similarities(left, right, []int{0}, []int{0}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("prefix-filter minShared=%d workers=%d", minShared, workers), got, want)
+			// The global-prune-only path (pre-filter behavior) must agree too.
+			disableRowPrefixFilter = true
+			off, err := Similarities(left, right, []int{0}, []int{0}, opt)
+			disableRowPrefixFilter = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("prefix-filter-off minShared=%d workers=%d", minShared, workers), off, want)
 		}
 	}
 }

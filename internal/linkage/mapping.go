@@ -43,6 +43,11 @@ func DefaultPairOptions() PairOptions {
 	return PairOptions{MinSim: 0.05, Block: true, MinSharedTokens: 1}
 }
 
+// disableRowPrefixFilter turns off the per-left-row prefix filter inside
+// Similarities, leaving only the global stop-word prune — the pre-filter
+// behavior, kept reachable for differential tests and benchmarks.
+var disableRowPrefixFilter = false
+
 // Similarities scores candidate tuple pairs between left and right over
 // the aligned matching attribute indexes (leftIdx[i] ↔ rightIdx[i]).
 //
@@ -121,6 +126,10 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		}
 	}
 	n, nRight := left.Len(), right.Len()
+	// Posting lists shorter than skipFloor are not worth a verify pass:
+	// skipping them saves almost no merge work but still lowers the exact
+	// counting threshold, pushing more candidates into verification.
+	const skipFloor = 4
 	// Inverted index: joint token id → posting list of right row ids, and
 	// per-row blocking token lists (distinct union over the matched
 	// columns). Without blocking (or with numeric-only matching attributes,
@@ -147,7 +156,6 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 		// their exact shared-token count against the full per-row token
 		// lists below.
 		if opt.MinSharedTokens > 1 {
-			const skipFloor = 4 // shorter lists are not worth a verify pass
 			skipped = make([]bool, len(post))
 			for s := 0; s < opt.MinSharedTokens-1; s++ {
 				best, bestLen := -1, skipFloor-1
@@ -168,8 +176,18 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	minShared := int32(opt.MinSharedTokens)
 	// scoreRange scans rows [lo, hi) with worker-local candidate state: a
 	// dense shared-token counter indexed by right row id plus the list of
-	// touched rows, reset between rows — no per-row map allocation.
-	scoreRange := func(lo, hi int, cnt []int32, touched []int32, out []Match) ([]Match, []int32) {
+	// touched rows, reset between rows — no per-row map allocation. rowSkip
+	// holds the positions (within lBlock[i]) of the current row's
+	// prefix-filtered tokens.
+	scoreRange := func(lo, hi int, cnt []int32, touched, rowSkip []int32, out []Match) ([]Match, []int32, []int32) {
+		inRowSkip := func(rowSkip []int32, p int) bool {
+			for _, q := range rowSkip {
+				if int(q) == p {
+					return true
+				}
+			}
+			return false
+		}
 		for i := lo; i < hi; i++ {
 			if !blocked {
 				for j := 0; j < nRight; j++ {
@@ -177,8 +195,49 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 				}
 				continue
 			}
+			toks := lBlock[i]
+			// Per-left-row prefix filter: a pair sharing at least minShared
+			// distinct tokens with this row still shares one outside ANY
+			// (minShared−1)-subset of the row's tokens, so each row can skip
+			// merging its own longest minShared−1 posting lists — not just
+			// the globally pruned stop words. Globally skipped tokens the
+			// row carries count against the same budget (their postings are
+			// gone for every row); the remaining budget goes to the longest
+			// surviving lists, which dominate this row's merge cost.
+			skippedHere := 0
+			rowSkip = rowSkip[:0]
+			if minShared > 1 {
+				budget := int(minShared) - 1
+				if anySkipped {
+					for _, tok := range toks {
+						if skipped[tok] {
+							budget--
+							skippedHere++
+						}
+					}
+				}
+				if disableRowPrefixFilter {
+					budget = 0
+				}
+				for b := 0; b < budget; b++ {
+					best, bestLen := -1, skipFloor-1
+					for p, tok := range toks {
+						if len(post[tok]) > bestLen && !inRowSkip(rowSkip, p) {
+							best, bestLen = p, len(post[tok])
+						}
+					}
+					if best < 0 {
+						break
+					}
+					rowSkip = append(rowSkip, int32(best))
+					skippedHere++
+				}
+			}
 			touched = touched[:0]
-			for _, tok := range lBlock[i] {
+			for p, tok := range toks {
+				if len(rowSkip) > 0 && inRowSkip(rowSkip, p) {
+					continue
+				}
 				for _, j := range post[tok] {
 					if cnt[j] == 0 {
 						touched = append(touched, j)
@@ -190,16 +249,9 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 			// the number of skipped tokens this row carries; candidates in
 			// the uncertain band prove their real shared count by merging
 			// the two full token lists.
-			thresh := minShared
-			if anySkipped {
-				for _, tok := range lBlock[i] {
-					if skipped[tok] {
-						thresh--
-					}
-				}
-				if thresh < 1 {
-					thresh = 1
-				}
+			thresh := minShared - int32(skippedHere)
+			if thresh < 1 {
+				thresh = 1
 			}
 			// Ascending right-row order keeps output identical to the
 			// sequential pairwise scan.
@@ -212,7 +264,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 				cnt[j] = 0
 			}
 		}
-		return out, touched
+		return out, touched, rowSkip
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -223,7 +275,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	}
 	if workers <= 1 {
 		var out []Match
-		out, _ = scoreRange(0, n, make([]int32, nRight), make([]int32, 0, 64), out)
+		out, _, _ = scoreRange(0, n, make([]int32, nRight), make([]int32, 0, 64), make([]int32, 0, 4), out)
 		return out, nil
 	}
 	// Contiguous row-range chunks scored in parallel: each chunk's matches
@@ -247,6 +299,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 			defer wg.Done()
 			cnt := make([]int32, nRight)
 			touched := make([]int32, 0, 64)
+			rowSkip := make([]int32, 0, 4)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nChunks {
@@ -257,7 +310,7 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 					hi = n
 				}
 				var out []Match
-				out, touched = scoreRange(lo, hi, cnt, touched, out)
+				out, touched, rowSkip = scoreRange(lo, hi, cnt, touched, rowSkip, out)
 				blocks[c] = out
 			}
 		}()

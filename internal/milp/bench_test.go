@@ -103,6 +103,72 @@ func benchmarkEngine(b *testing.B, n int, opt Options) {
 // ~800-variable block: the dense tableau holds 799·2398 ≈ 1.9M cells —
 // every pivot touches all of them, while the sparse engine touches a few
 // dozen nonzeros.
-func BenchmarkSparseVsDenseSparse(b *testing.B) { benchmarkEngine(b, 800, Options{}) }
+func BenchmarkSparseVsDenseSparse(b *testing.B) {
+	benchmarkEngine(b, 800, Options{Engine: EngineSparse})
+}
 
 func BenchmarkSparseVsDenseDense(b *testing.B) { benchmarkEngine(b, 800, Options{DenseLP: true}) }
+
+// BenchmarkDevexOn/Off isolates the pricing rule on the 800-var block:
+// devex scans a bounded candidate window per iteration where full Dantzig
+// prices every nonbasic column, so the win is per-pivot cost at near-equal
+// iteration counts.
+func BenchmarkDevexOn(b *testing.B) { benchmarkEngine(b, 800, Options{Engine: EngineSparse}) }
+
+func BenchmarkDevexOff(b *testing.B) {
+	disableDevex = true
+	defer func() { disableDevex = false }()
+	benchmarkEngine(b, 800, Options{Engine: EngineSparse})
+}
+
+// pigeonBenchModel is the infeasibility-heavy pigeonhole tree (holes+1
+// items into holes): almost every node is LP-infeasible, which is where
+// per-node bound tightening pays — infeasibility caught by propagation
+// costs zero simplex iterations.
+func pigeonBenchModel(holes int) *Model {
+	items := holes + 1
+	m := NewModel("pigeonhole", Maximize)
+	x := make([][]Var, items)
+	for i := range x {
+		x[i] = make([]Var, holes)
+		row := make([]Term, holes)
+		for h := range x[i] {
+			x[i][h] = m.AddVar(0, 1, Binary, "x")
+			row[h] = Term{x[i][h], 1}
+		}
+		m.AddConstr(row, EQ, 1, "placed")
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < items; i++ {
+			for k := i + 1; k < items; k++ {
+				m.AddConstr([]Term{{x[i][h], 1}, {x[k][h], 1}}, LE, 1, "exclusive")
+			}
+		}
+	}
+	return m
+}
+
+// BenchmarkPresolveOn/Off isolates the per-node bound tightening and
+// reduced-cost fixing on the pigeonhole tree (total simplex iterations
+// should drop sharply with presolve on, at identical verdicts).
+func benchmarkPresolve(b *testing.B, opt Options) {
+	m := pigeonBenchModel(5)
+	iters, nodes := 0, 0
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(m, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != StatusInfeasible {
+			b.Fatalf("status %v", sol.Status)
+		}
+		iters += sol.Iters
+		nodes += sol.Nodes
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes")
+}
+
+func BenchmarkPresolveOn(b *testing.B) { benchmarkPresolve(b, Options{}) }
+
+func BenchmarkPresolveOff(b *testing.B) { benchmarkPresolve(b, Options{NoPresolve: true}) }

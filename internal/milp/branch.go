@@ -79,10 +79,16 @@ func SolveContext(ctx context.Context, m *Model, opt Options) (*Solution, error)
 		sol.Refactors += res.refactors
 		sol.LUFill += res.luFill
 		sol.CertInfeas += res.certInfeas
+		if res.dense {
+			sol.DenseBlocks++
+		} else {
+			sol.SparseBlocks++
+		}
 		switch res.status {
 		case StatusInfeasible, StatusUnbounded, StatusNoSolution:
 			return &Solution{Status: res.status, Blocks: len(blocks), Nodes: sol.Nodes, Iters: sol.Iters,
-				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas}, nil
+				Refactors: sol.Refactors, LUFill: sol.LUFill, CertInfeas: sol.CertInfeas,
+				SparseBlocks: sol.SparseBlocks, DenseBlocks: sol.DenseBlocks}, nil
 		case StatusLimit:
 			sol.Status = StatusLimit
 		}
@@ -179,10 +185,51 @@ type bbResult struct {
 	objective  float64
 	x          []float64
 	nodes      int
-	iters      int // simplex iterations across all node solves
-	refactors  int // basis LU factorizations (sparse engine)
-	luFill     int // total L+U nonzeros across factorizations
-	certInfeas int // Farkas-certified dual-infeasible verdicts
+	iters      int  // simplex iterations across all node solves
+	refactors  int  // basis LU factorizations (sparse engine)
+	luFill     int  // total L+U nonzeros across factorizations
+	certInfeas int  // Farkas-certified dual-infeasible verdicts
+	dense      bool // which LP engine solved the block
+}
+
+// Adaptive engine thresholds (chooseDense), tuned against the frozen
+// milpbench workloads: knapsack-conflicts-26 (~700 tableau cells) and
+// pigeonhole-4 (~4700 cells at 0.11 density) route dense, where the
+// tableau beats the revised simplex by ~1.2-1.3× pivots/sec;
+// pathcover-lp-800 (1.9M cells, banded) routes sparse, where the tableau
+// loses 7×.
+const (
+	adaptiveMaxCells   = 32768 // above this, per-pivot O(cells) always loses to per-nonzero
+	adaptiveTinyCells  = 4096  // below this, the tableau always wins (no LU/eta overhead)
+	adaptiveMinDensity = 0.05  // between the caps, nonzero density decides
+)
+
+// chooseDense picks the LP engine for one block under EngineAdaptive. The
+// dense tableau pays m·n cells per pivot but carries no factorization or
+// eta-replay overhead; the sparse revised simplex pays per nonzero plus
+// LU/eta bookkeeping that only amortizes over enough pivots. Tiny
+// tableaus are always dense and big ones always sparse; in between,
+// nonzero density decides, except that a block with no integer variables
+// solves exactly one relaxation — too few pivots to amortize the tableau
+// build — and stays sparse.
+func chooseDense(m *Model, nInt int) bool {
+	nv := len(m.vars)
+	mr := len(m.rows)
+	nnz, nSlack := 0, 0
+	for _, r := range m.rows {
+		nnz += len(r.terms)
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	cells := mr * (nv + nSlack + mr)
+	if cells <= adaptiveTinyCells {
+		return true
+	}
+	if cells > adaptiveMaxCells || nInt == 0 {
+		return false
+	}
+	return float64(nnz)/float64(mr*nv) >= adaptiveMinDensity
 }
 
 // bbNode is one branch-and-bound node, stored as a bound-delta chain
@@ -200,6 +247,11 @@ type bbNode struct {
 	// dive has since moved on (the second child).
 	parentSeq uint64
 	snap      nodeSnap
+	// fixes are reduced-cost fixes derived at the parent after its solve:
+	// bounds valid for every improving solution in this subtree. They
+	// intersect with (never replace) branch bounds, and ancestors'
+	// fixes are reached through the parent chain.
+	fixes []boundFix
 }
 
 // branchAndBound solves one block. Internally everything is a
@@ -254,11 +306,17 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 	// node's optimal basis (identified by seq; 0 = none), the snapshot
 	// memory budget, and the refactorization policy.
 	useWarm := !opt.ColdLP
+	dense := opt.Engine == EngineDense ||
+		(opt.Engine == EngineAdaptive && chooseDense(m, len(intVars)))
 	var eng lpEngine
-	if opt.DenseLP {
+	if dense {
 		eng = &denseEngine{ctx: ctx, deadline: deadline, c: c, rows: m.rows, useWarm: useWarm}
 	} else {
 		eng = &sparseEngine{ctx: ctx, deadline: deadline, c: c, rows: m.rows, useWarm: useWarm}
+	}
+	var pre *presolver
+	if !opt.NoPresolve {
+		pre = newPresolver(m)
 	}
 
 	// bounds materializes a node's full bound arrays (root bounds plus the
@@ -281,6 +339,21 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 				seen[nd.v] = false
 			}
 		}
+		// Reduced-cost fixes intersect with the branch bounds: a fix is
+		// valid for the entire subtree below the node that derived it,
+		// whatever later branching did to the same variable. An empty
+		// intersection is legitimate (the subtree holds no improving
+		// solution) and is caught by the presolve domain check.
+		for nd := node; nd != nil; nd = nd.parent {
+			for _, f := range nd.fixes {
+				if f.lo > scratchLB[f.v] {
+					scratchLB[f.v] = f.lo
+				}
+				if f.hi < scratchUB[f.v] {
+					scratchUB[f.v] = f.hi
+				}
+			}
+		}
 		return scratchLB, scratchUB
 	}
 	// boundsOf reads one variable's bounds at a node without materializing.
@@ -298,7 +371,7 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 	hitLimit := false
 	finish := func(status Status, objective float64, x []float64) bbResult {
 		rf, lf, ci := eng.counters()
-		return bbResult{status: status, objective: objective, x: x,
+		return bbResult{status: status, objective: objective, x: x, dense: dense,
 			nodes: nodes, iters: eng.iters(), refactors: rf, luFill: lf, certInfeas: ci}
 	}
 	for len(stack) > 0 {
@@ -323,6 +396,9 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 				node.snap = nil
 			}
 			lbN, ubN := bounds(node)
+			if pre != nil && !pre.tighten(lbN, ubN) {
+				continue // presolve proved the node infeasible
+			}
 			st, obj, x = eng.cold(lbN, ubN)
 		}
 		switch st {
@@ -398,8 +474,15 @@ func branchAndBound(ctx context.Context, m *Model, opt Options, warm []float64, 
 		// re-solves cold when popped.
 		fl := math.Floor(x[branchVar])
 		curLo, curHi := boundsOf(node, branchVar)
-		down := &bbNode{parent: node, v: branchVar, lo: curLo, hi: fl, depth: node.depth + 1, parentSeq: eng.seq()}
-		up := &bbNode{parent: node, v: branchVar, lo: fl + 1, hi: curHi, depth: node.depth + 1, parentSeq: eng.seq()}
+		// Reduced-cost fixing: with an incumbent in hand, any nonbasic
+		// integer variable whose reduced cost alone bridges the gap to the
+		// cutoff is pinned at its bound for both children.
+		var fixes []boundFix
+		if pre != nil && bestX != nil {
+			fixes = eng.rcFix(intVars, best-1e-9-obj)
+		}
+		down := &bbNode{parent: node, v: branchVar, lo: curLo, hi: fl, depth: node.depth + 1, parentSeq: eng.seq(), fixes: fixes}
+		up := &bbNode{parent: node, v: branchVar, lo: fl + 1, hi: curHi, depth: node.depth + 1, parentSeq: eng.seq(), fixes: fixes}
 		near, far := up, down
 		if x[branchVar]-fl > 0.5 {
 			near, far = down, up

@@ -2,6 +2,7 @@ package milp
 
 import (
 	"context"
+	"math"
 	"time"
 )
 
@@ -31,6 +32,12 @@ type lpEngine interface {
 	// counters reports the sparse engine's factorization metrics
 	// (zero for the dense engine).
 	counters() (refactors, luFill, certInfeas int)
+	// rcFix derives reduced-cost bound fixes for the given integer
+	// variables right after an optimal solve; gap is the objective headroom
+	// to the incumbent cutoff. Engines may return nil — the dense reference
+	// engine always does, because its incrementally-maintained reduced
+	// costs are not trusted for pruning.
+	rcFix(intVars []int, gap float64) []boundFix
 }
 
 // nodeSnap is an engine-specific warm-start snapshot carried by a bbNode.
@@ -103,6 +110,18 @@ func (e *denseEngine) warm(node *bbNode) (lpStatus, float64, []float64, bool) {
 	if !e.hot.applyBound(node.v, node.lo, node.hi) {
 		return lpInfeasible, 0, nil, true // empty domain needs no proof
 	}
+	for _, f := range node.fixes {
+		lo, hi := f.lo, f.hi
+		if e.hot.lb[f.v] > lo {
+			lo = e.hot.lb[f.v]
+		}
+		if e.hot.ub[f.v] < hi {
+			hi = e.hot.ub[f.v]
+		}
+		if !e.hot.applyBound(f.v, lo, hi) {
+			return lpInfeasible, 0, nil, true
+		}
+	}
 	p0 := e.hot.pivots
 	dst := e.hot.dualIterate(dualPivotCap(e.hot.m))
 	if dst == lpOptimal {
@@ -146,6 +165,12 @@ func (e *denseEngine) drop(sn nodeSnap)          { e.snapCells -= sn.(*lpSnapsho
 func (e *denseEngine) iters() int                { return e.itersN }
 func (e *denseEngine) counters() (int, int, int) { return 0, 0, 0 }
 
+// rcFix is a no-op for the dense engine: its reduced costs are maintained
+// incrementally across pivots (with periodic recomputes), and pruning
+// decisions must not ride on drifted values. The dense path stays the
+// plain reference implementation.
+func (e *denseEngine) rcFix([]int, float64) []boundFix { return nil }
+
 // sparseEngine wraps the sparse revised simplex. One sparseLP instance is
 // built per block and reused by every node: cold solves reset the crash
 // basis in place, warm solves repair the current optimal state with dual
@@ -163,6 +188,12 @@ type sparseEngine struct {
 	nextSeq   uint64
 	snapCells int
 	itersN    int
+	// solvedOK marks the lp instance as holding the most recent node's
+	// optimal state — the precondition for reading duals in rcFix. It is
+	// false after the (effectively unreachable) dense fallback of cold and
+	// after failed warm solves, independent of curSeq, which also goes to
+	// zero under Options.ColdLP where rcFix is still valid.
+	solvedOK bool
 }
 
 func (e *sparseEngine) ensure() *sparseLP {
@@ -180,6 +211,7 @@ func (e *sparseEngine) cold(lb, ub []float64) (lpStatus, float64, []float64) {
 	st := s.solveCold(lb, ub)
 	e.itersN += s.pivots - p0
 	e.curSeq = 0
+	e.solvedOK = st == lpOptimal
 	if st == lpNumeric {
 		// The factorization failed beyond repair (effectively unreachable:
 		// the crash basis is diagonal) — fall back to the dense reference
@@ -206,6 +238,7 @@ func (e *sparseEngine) cold(lb, ub []float64) (lpStatus, float64, []float64) {
 // re-proof.
 func (e *sparseEngine) warm(node *bbNode) (lpStatus, float64, []float64, bool) {
 	s := e.lp
+	e.solvedOK = false
 	if node.snap != nil {
 		sn := node.snap.(*sparseSnap)
 		node.snap = nil
@@ -221,6 +254,20 @@ func (e *sparseEngine) warm(node *bbNode) (lpStatus, float64, []float64, bool) {
 	if !s.applyBound(node.v, node.lo, node.hi) {
 		return lpInfeasible, 0, nil, true // empty domain needs no proof
 	}
+	// Reduced-cost fixes intersect with the engine's current bounds (they
+	// never relax what branching already imposed on the same variable).
+	for _, f := range node.fixes {
+		lo, hi := f.lo, f.hi
+		if s.lb[f.v] > lo {
+			lo = s.lb[f.v]
+		}
+		if s.ub[f.v] < hi {
+			hi = s.ub[f.v]
+		}
+		if !s.applyBound(f.v, lo, hi) {
+			return lpInfeasible, 0, nil, true
+		}
+	}
 	p0 := s.pivots
 	dst := s.dualIterate(dualPivotCap(s.m))
 	if dst == lpOptimal {
@@ -233,6 +280,7 @@ func (e *sparseEngine) warm(node *bbNode) (lpStatus, float64, []float64, bool) {
 	case lpOptimal:
 		e.nextSeq++
 		e.curSeq = e.nextSeq
+		e.solvedOK = true
 		return lpOptimal, s.objective(), s.values(), true
 	case lpInfeasible:
 		return lpInfeasible, 0, nil, true // Farkas-certified
@@ -268,4 +316,46 @@ func (e *sparseEngine) counters() (int, int, int) {
 		return 0, 0, 0
 	}
 	return e.lp.refactors, e.lp.luFill, e.lp.certified
+}
+
+// rcFix scans the nonbasic integer variables of the just-solved node: one
+// whose reduced cost times its smallest admissible integer step exceeds
+// the objective gap cannot move off its bound in any improving solution,
+// so the subtree pins it there. The duals come from the same BTRAN the
+// pricing loop runs; reduced costs are recomputed fresh per column, never
+// read from incremental state.
+func (e *sparseEngine) rcFix(intVars []int, gap float64) []boundFix {
+	s := e.lp
+	if s == nil || !e.solvedOK || gap < 0 {
+		return nil
+	}
+	var fixes []boundFix
+	var y []float64
+	for _, iv := range intVars {
+		if s.ub[iv]-s.lb[iv] < feasTol {
+			continue // already fixed
+		}
+		st := s.status[iv]
+		if st == inBasis {
+			continue
+		}
+		if y == nil {
+			y = s.duals()
+		}
+		d := s.realCost[iv] - s.a.dotCol(y, iv)
+		if st == atLower {
+			// Smallest admissible move up: to the next integer above lb
+			// (lb itself is usually integral, giving a step of 1).
+			step := math.Floor(s.lb[iv]+1e-6) + 1 - s.lb[iv]
+			if d*step > gap+rcFixTol {
+				fixes = append(fixes, boundFix{v: iv, lo: s.lb[iv], hi: s.lb[iv]})
+			}
+		} else {
+			step := s.ub[iv] - (math.Ceil(s.ub[iv]-1e-6) - 1)
+			if -d*step > gap+rcFixTol {
+				fixes = append(fixes, boundFix{v: iv, lo: s.ub[iv], hi: s.ub[iv]})
+			}
+		}
+	}
+	return fixes
 }

@@ -112,6 +112,17 @@ func (m *Model) NumVars() int { return len(m.vars) }
 // NumRows returns the number of constraints.
 func (m *Model) NumRows() int { return len(m.rows) }
 
+// NumNonzeros returns the number of structural constraint coefficients —
+// with NumVars and NumRows it gives benchmarks the block shape (density)
+// the adaptive engine heuristic sees.
+func (m *Model) NumNonzeros() int {
+	nnz := 0
+	for _, r := range m.rows {
+		nnz += len(r.terms)
+	}
+	return nnz
+}
+
 // SetObjCoef adds c to the objective coefficient of v.
 func (m *Model) SetObjCoef(v Var, c float64) { m.vars[v].obj += c }
 
@@ -187,6 +198,24 @@ func (s Status) String() string {
 	}
 }
 
+// EngineMode selects the LP engine branch-and-bound uses for node
+// relaxations.
+type EngineMode int
+
+const (
+	// EngineAdaptive (the default) picks dense vs sparse per block from the
+	// block's shape: tableau cells, nonzero density, and the expected tree
+	// size. Small dense blocks route to the dense tableau (cheap per-cell
+	// pivots, no factorization overhead), everything else to the sparse
+	// revised simplex.
+	EngineAdaptive EngineMode = iota
+	// EngineSparse forces the sparse revised simplex for every block.
+	EngineSparse
+	// EngineDense forces the dense tableau for every block. The dense
+	// engine refuses relaxations above maxTableauCells.
+	EngineDense
+)
+
 // Options tunes the solver.
 type Options struct {
 	// TimeLimit bounds wall-clock time (0 = unlimited). SolveContext
@@ -210,13 +239,23 @@ type Options struct {
 	// this switch exists for benchmarks, equivalence tests, and as an
 	// escape hatch.
 	ColdLP bool
-	// DenseLP routes every node relaxation through the historical
-	// dense-tableau simplex instead of the sparse revised simplex
-	// (LU-factorized basis + eta-file updates). The dense path is the
-	// reference implementation: differential tests assert both engines
-	// agree on statuses and objectives. Note the dense engine refuses
-	// relaxations above maxTableauCells; the sparse engine has no such cap.
+	// Engine picks the per-node LP engine. The zero value (EngineAdaptive)
+	// chooses dense vs sparse per block from the block's shape; the forced
+	// modes exist for benchmarks and differential tests, which assert all
+	// engine choices agree on statuses and objectives.
+	Engine EngineMode
+	// DenseLP is the historical switch routing every node relaxation
+	// through the dense-tableau simplex; it is kept as an alias for
+	// Engine = EngineDense (the dense path is the reference
+	// implementation). Note the dense engine refuses relaxations above
+	// maxTableauCells; the sparse engine has no such cap.
 	DenseLP bool
+	// NoPresolve disables the per-node presolve (bound tightening at cold
+	// solves, reduced-cost fixing of nonbasic integer variables).
+	// Presolve-on and presolve-off return identical statuses and
+	// objectives; the switch exists for equivalence tests and as an escape
+	// hatch.
+	NoPresolve bool
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +264,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
+	}
+	if o.DenseLP && o.Engine == EngineAdaptive {
+		o.Engine = EngineDense
 	}
 	return o
 }
@@ -250,6 +292,11 @@ type Solution struct {
 	// CertInfeas counts warm dual-infeasible verdicts accepted via a
 	// direct Farkas certificate check instead of a cold phase-1 re-proof.
 	CertInfeas int
+	// SparseBlocks/DenseBlocks count the blocks solved by each LP engine —
+	// under EngineAdaptive they record the per-block choices the shape
+	// heuristic made.
+	SparseBlocks int
+	DenseBlocks  int
 }
 
 // Value returns the solved value of v.

@@ -41,11 +41,23 @@ type sparseLP struct {
 	lu   *luFactors
 	etas []eta
 
+	// Devex partial pricing (primalIterate). devexW holds the reference
+	// weights (reset to 1 on every refactorization — a new reference
+	// framework); cand is the candidate list the partial iterations price,
+	// refilled by periodic full sweeps; candScore mirrors cand during a
+	// refill. devexOff restores full Dantzig pricing (the differential
+	// baseline for tests and benchmarks).
+	devexW    []float64
+	cand      []int32
+	candScore []float64
+	devexOff  bool
+
 	// Scratch buffers (one solve at a time per instance).
 	rowBuf   []float64 // row space: FTRAN scatter input, rhs residual
 	posBuf   []float64 // basis-position space: c_B / e_r BTRAN input
 	ordBuf   []float64 // LU-internal ordering scratch
 	yRow     []float64 // BTRAN(c_B): duals
+	y2Row    []float64 // BTRAN of the composite phase-1 costs
 	rhoRow   []float64 // BTRAN(e_r): the dual pivot row's certificate
 	alpha    []float64 // FTRAN'd entering column
 	alphaRow []float64 // ρᵀA over all n columns
@@ -78,14 +90,23 @@ func newSparseLP(c []float64, rows []rowData) *sparseLP {
 		posBuf:   make([]float64, a.m),
 		ordBuf:   make([]float64, a.m),
 		yRow:     make([]float64, a.m),
+		y2Row:    make([]float64, a.m),
 		rhoRow:   make([]float64, a.m),
 		alpha:    make([]float64, a.m),
 		alphaRow: make([]float64, a.n),
+		devexW:   make([]float64, a.n),
 		maxIter:  20000 + 200*(a.m+a.nv),
+		devexOff: disableDevex,
 	}
 	copy(s.realCost, c)
+	s.devexReset()
 	return s
 }
+
+// disableDevex switches every sparseLP built afterwards to full Dantzig
+// pricing — the measurement hook for the devex-vs-Dantzig differential
+// tests and iteration-count baselines.
+var disableDevex = false
 
 // expired reports whether the deadline passed or the context was canceled.
 func (s *sparseLP) expired() bool {
@@ -158,7 +179,18 @@ func (s *sparseLP) refactorBasis() bool {
 	s.refactors++
 	s.luFill += lu.nnz
 	s.recomputeXB()
+	s.devexReset()
 	return true
+}
+
+// devexReset starts a new devex reference framework: every weight back to
+// 1. Run on every (re)factorization — both the eta-length trigger and the
+// stability trigger inside pivot — and on snapshot restore, where the
+// accumulated weights describe a basis trajectory the engine just left.
+func (s *sparseLP) devexReset() {
+	for j := range s.devexW {
+		s.devexW[j] = 1
+	}
 }
 
 // recomputeXB solves xB = B⁻¹(b − N·x_N) from the original data.
@@ -211,6 +243,27 @@ func (s *sparseLP) duals() []float64 {
 	}
 	s.btranVec(s.posBuf, s.yRow)
 	return s.yRow
+}
+
+// dualsComposite computes phase-1 scoring duals that count only the
+// infeasibility still present: an artificial already driven to zero (but
+// still basic, which bound flips leave behind all the time) keeps its row
+// priced at full weight under the static phase-1 costs, attracting that
+// row's columns into degenerate pivots — so its cost contribution is
+// dropped (in the spirit of Maros' adaptive composite phase 1). Scoring
+// heuristic only: eligibility and optimality always use the true costs.
+func (s *sparseLP) dualsComposite() []float64 {
+	art := s.a.artStart()
+	for i := 0; i < s.m; i++ {
+		k := s.basis[i]
+		if k >= art && math.Abs(s.xB[i]) <= feasTol {
+			s.posBuf[i] = 0
+		} else {
+			s.posBuf[i] = s.cost[k]
+		}
+	}
+	s.btranVec(s.posBuf, s.y2Row)
+	return s.y2Row
 }
 
 func (s *sparseLP) valueOf(j int) float64 {
@@ -305,9 +358,12 @@ func (s *sparseLP) solveCold(lbIn, ubIn []float64) lpStatus {
 
 // primalIterate runs bounded-variable primal simplex iterations until the
 // current phase is optimal. Pricing recomputes reduced costs from a fresh
-// BTRAN every iteration, so there is no incremental drift to contain;
-// Bland's rule engages after a run of degenerate steps exactly as in the
-// dense path.
+// BTRAN every iteration, so there is no incremental drift to contain, but
+// it is partial: most iterations price only the devex candidate list
+// (best d²/w wins), with full sweeps refilling the list periodically and
+// whenever it runs dry. Optimality is only ever declared by a clean full
+// sweep. Bland's rule engages after a run of degenerate steps exactly as
+// in the dense path and forces full first-eligible sweeps.
 func (s *sparseLP) primalIterate(phase1 bool) lpStatus {
 	degenerate := 0
 	bland := false
@@ -315,6 +371,9 @@ func (s *sparseLP) primalIterate(phase1 bool) lpStatus {
 	if phase1 {
 		limit = s.n
 	}
+	s.cand = s.cand[:0]
+	s.devexReset() // new phase, new objective: a fresh reference framework
+	sinceFull := 0
 	for iter := 0; iter < s.maxIter; iter++ {
 		if iter&63 == 63 && s.expired() {
 			return lpIterLimit
@@ -324,30 +383,35 @@ func (s *sparseLP) primalIterate(phase1 bool) lpStatus {
 				return lpNumeric
 			}
 		}
-		y := s.duals()
-		enter := -1
-		bestViol := costTol
-		for j := 0; j < limit; j++ {
-			st := s.status[j]
-			if st == inBasis || s.ub[j]-s.lb[j] < feasTol {
-				continue
+		var enter int
+		if bland || s.devexOff {
+			// Full-sweep modes: Bland's rule takes the first eligible
+			// column (anti-cycling keeps its termination argument);
+			// devexOff restores Dantzig pricing as the differential
+			// baseline. Both price against the true phase costs.
+			s.cand = s.cand[:0]
+			enter = s.fullPrice(s.duals(), nil, limit, bland, false)
+		} else {
+			// Eligibility always comes from the true phase costs (that is
+			// what keeps every pivot improving and the phase terminating);
+			// in phase 1 the *score* additionally weighs the composite
+			// duals, steering selection toward infeasibility that is
+			// actually left instead of rows whose zero-valued artificials
+			// still carry full static cost.
+			y := s.duals()
+			var y2 []float64
+			if phase1 {
+				y2 = s.dualsComposite()
 			}
-			d := s.cost[j] - s.a.dotCol(y, j)
-			var viol float64
-			if st == atLower && d < -costTol {
-				viol = -d
-			} else if st == atUpper && d > costTol {
-				viol = d
+			if sinceFull >= devexFullEvery {
+				s.cand = s.cand[:0]
+			}
+			enter = s.priceCandidates(y, y2, limit)
+			if enter >= 0 {
+				sinceFull++
 			} else {
-				continue
-			}
-			if bland {
-				enter = j
-				break
-			}
-			if viol > bestViol {
-				bestViol = viol
-				enter = j
+				enter = s.fullPrice(y, y2, limit, false, true)
+				sinceFull = 0
 			}
 		}
 		if enter < 0 {
@@ -403,7 +467,14 @@ func (s *sparseLP) primalIterate(phase1 bool) lpStatus {
 			} else {
 				s.status[enter] = atLower
 			}
+			// Bound flip: no basis change, so the devex weights stand.
 		} else {
+			if !s.devexOff && !bland {
+				// Weight maintenance must see the pre-pivot basis; if the
+				// pivot then refactorizes (tiny diagonal) the reset simply
+				// starts a new reference framework over these updates.
+				s.devexPrimalUpdate(enter, leaveRow)
+			}
 			s.pivot(leaveRow, enter, dir, step, leaveAt)
 		}
 		if step > 1e-12 {
@@ -417,6 +488,197 @@ func (s *sparseLP) primalIterate(phase1 bool) lpStatus {
 		}
 	}
 	return lpIterLimit
+}
+
+// devexFullEvery caps how many partial-pricing iterations may run between
+// full sweeps, so reduced costs of non-candidate columns are never stale
+// for long.
+const devexFullEvery = 5
+
+// devexCandCap sizes the candidate list relative to the phase's pricing
+// range: big enough to survive a run of pivots without a refill, small
+// enough that a partial iteration prices a fraction of the columns.
+func devexCandCap(limit int) int {
+	c := 16 + limit/32
+	if c > limit {
+		c = limit
+	}
+	return c
+}
+
+// devexScore is the pricing criterion for one eligible column: the true
+// violation squared over the devex reference weight, except that when
+// composite scoring duals y2 are supplied (phase 1) the violation under
+// them dominates — columns attacking remaining infeasibility win, with a
+// vanishing Dantzig term keeping every eligible column selectable when no
+// column attracts under y2.
+func (s *sparseLP) devexScore(j int, st varStatus, viol float64, y2 []float64) float64 {
+	sc := viol * viol
+	if y2 != nil {
+		d2 := s.cost[j] - s.a.dotCol(y2, j)
+		var v2 float64
+		if st == atLower && d2 < 0 {
+			v2 = -d2
+		} else if st == atUpper && d2 > 0 {
+			v2 = d2
+		}
+		sc = v2*v2 + 1e-12*sc
+	}
+	return sc / s.devexW[j]
+}
+
+// fullPrice scans every nonbasic column of the phase. Under Bland's rule
+// it returns the first eligible column; otherwise the best by the devex
+// criterion d²/w (plain Dantzig when the weights are all 1), and when
+// refill is set it also rebuilds the candidate list with the
+// highest-scoring columns for the partial iterations that follow.
+// Eligibility always uses the true duals y; y2, when non-nil, only shifts
+// the scores (see devexScore).
+func (s *sparseLP) fullPrice(y, y2 []float64, limit int, bland, refill bool) int {
+	if refill {
+		s.cand = s.cand[:0]
+		s.candScore = s.candScore[:0]
+	}
+	capN := devexCandCap(limit)
+	enter := -1
+	bestScore := 0.0
+	minIdx := -1 // lowest-scoring slot of the (full) candidate list
+	for j := 0; j < limit; j++ {
+		st := s.status[j]
+		if st == inBasis || s.ub[j]-s.lb[j] < feasTol {
+			continue
+		}
+		d := s.cost[j] - s.a.dotCol(y, j)
+		var viol float64
+		if st == atLower && d < -costTol {
+			viol = -d
+		} else if st == atUpper && d > costTol {
+			viol = d
+		} else {
+			continue
+		}
+		if bland {
+			return j
+		}
+		score := s.devexScore(j, st, viol, y2)
+		if score > bestScore {
+			bestScore = score
+			enter = j
+		}
+		if !refill {
+			continue
+		}
+		if len(s.cand) < capN {
+			s.cand = append(s.cand, int32(j))
+			s.candScore = append(s.candScore, score)
+			if minIdx < 0 || score < s.candScore[minIdx] {
+				minIdx = len(s.cand) - 1
+			}
+		} else if score > s.candScore[minIdx] {
+			s.cand[minIdx] = int32(j)
+			s.candScore[minIdx] = score
+			for k, sc := range s.candScore {
+				if sc < s.candScore[minIdx] {
+					minIdx = k
+				}
+			}
+		}
+	}
+	return enter
+}
+
+// priceCandidates prices only the candidate list with fresh reduced
+// costs, compacting away columns that entered the basis or stopped being
+// attractive, and returns the best remaining column by the devex
+// criterion. -1 means the list ran dry — the caller must run a full sweep
+// before it may declare optimality. Eligibility always uses the true
+// duals y; y2, when non-nil, only shifts the scores (see devexScore).
+func (s *sparseLP) priceCandidates(y, y2 []float64, limit int) int {
+	enter := -1
+	best := 0.0
+	w := 0
+	for _, cj := range s.cand {
+		j := int(cj)
+		if j >= limit {
+			continue
+		}
+		st := s.status[j]
+		if st == inBasis || s.ub[j]-s.lb[j] < feasTol {
+			continue
+		}
+		d := s.cost[j] - s.a.dotCol(y, j)
+		var viol float64
+		if st == atLower && d < -costTol {
+			viol = -d
+		} else if st == atUpper && d > costTol {
+			viol = d
+		} else {
+			continue
+		}
+		s.cand[w] = cj
+		w++
+		if score := s.devexScore(j, st, viol, y2); score > best {
+			best = score
+			enter = j
+		}
+	}
+	s.cand = s.cand[:w]
+	return enter
+}
+
+// devexPrimalUpdate maintains the reference weights through a primal
+// basis change: one BTRAN(e_r) recovers the pivot row ρᵀA by a pass over
+// the CSR rows where ρ is nonzero (the same trick the dual pivot uses), so
+// every nonbasic column's weight updates at sparse cost, and the leaving
+// variable inherits the entering column's weight scaled by the pivot
+// element. Weights only ratchet upward between reference resets — the
+// devex invariant.
+func (s *sparseLP) devexPrimalUpdate(enter, r int) {
+	aq := s.alpha[r]
+	if math.Abs(aq) < pivotTol {
+		return
+	}
+	a := s.a
+	wq := s.devexW[enter]
+	for i := 0; i < s.m; i++ {
+		s.posBuf[i] = 0
+	}
+	s.posBuf[r] = 1
+	s.btranVec(s.posBuf, s.rhoRow)
+	for j := range s.alphaRow {
+		s.alphaRow[j] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		ri := s.rhoRow[i]
+		if ri == 0 {
+			continue
+		}
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			s.alphaRow[a.colIdx[p]] += ri * a.rowVal[p]
+		}
+		if sc := a.slackOf[i]; sc >= 0 {
+			s.alphaRow[sc] = ri * a.slackSign[i]
+		}
+		s.alphaRow[a.artStart()+i] = ri
+	}
+	inv := wq / (aq * aq)
+	for j := 0; j < s.n; j++ {
+		if j == enter || s.status[j] == inBasis {
+			continue
+		}
+		arj := s.alphaRow[j]
+		if arj == 0 {
+			continue
+		}
+		if w := arj * arj * inv; w > s.devexW[j] {
+			s.devexW[j] = w
+		}
+	}
+	if inv > 1 {
+		s.devexW[s.basis[r]] = inv
+	} else {
+		s.devexW[s.basis[r]] = 1
+	}
 }
 
 // applyStep moves every basic value by the entering column's step
@@ -594,6 +856,31 @@ func (s *sparseLP) dualIterate(maxPiv int) lpStatus {
 		if below {
 			target, leaveAt = s.lb[k], atLower
 		}
+		if !s.devexOff {
+			// Maintain the devex weights through the dual pivot: alphaRow
+			// already holds the full pivot row, so every nonbasic column
+			// updates for free (no extra BTRAN), keeping the weights
+			// meaningful for the primal polish that follows warm starts.
+			aq := s.alphaRow[enter]
+			winv := s.devexW[enter] / (aq * aq)
+			for j := 0; j < s.n; j++ {
+				if j == enter || s.status[j] == inBasis {
+					continue
+				}
+				arj := s.alphaRow[j]
+				if arj == 0 {
+					continue
+				}
+				if w := arj * arj * winv; w > s.devexW[j] {
+					s.devexW[j] = w
+				}
+			}
+			if winv > 1 {
+				s.devexW[k] = winv
+			} else {
+				s.devexW[k] = 1
+			}
+		}
 		t := (s.xB[r] - target) / (s.alpha[r] * dir)
 		if t < 0 {
 			t = 0 // numerical guard: never step backwards
@@ -707,4 +994,7 @@ func (s *sparseLP) restore(sn *sparseSnap) {
 	}
 	// The snapshot was taken after phase 2; make sure the costs agree.
 	copy(s.cost, s.realCost)
+	// The weights describe the basis trajectory the engine just abandoned;
+	// start a fresh devex reference framework for the restored state.
+	s.devexReset()
 }

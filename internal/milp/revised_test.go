@@ -6,14 +6,15 @@ import (
 	"testing"
 )
 
-// solveBoth runs the same model through the sparse (default) and dense
+// solveBoth runs the same model through the forced sparse and forced dense
 // (reference) engines and asserts status agreement; on optimality it also
 // asserts objective agreement and feasibility/integrality of both
 // solutions (the solutions themselves may differ under alternative
-// optima).
+// optima). The adaptive default is covered by its own differential tests
+// in adaptive_test.go.
 func solveBoth(t *testing.T, name string, m *Model) (*Solution, *Solution) {
 	t.Helper()
-	sparse, err := Solve(m, Options{})
+	sparse, err := Solve(m, Options{Engine: EngineSparse})
 	if err != nil {
 		t.Fatalf("%s: sparse solve: %v", name, err)
 	}
@@ -101,7 +102,7 @@ func TestSparseDenseRandomMixed(t *testing.T) {
 			m.AddConstr(terms, sense, float64(rng.Intn(11)-5), "r")
 		}
 		sparse, _ := solveBoth(t, "random-mixed", m)
-		coldSparse, err := Solve(m, Options{ColdLP: true})
+		coldSparse, err := Solve(m, Options{ColdLP: true, Engine: EngineSparse})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func TestFarkasCertificateOnInfeasibilityHeavyTree(t *testing.T) {
 	}
 	// The certificate replaces cold re-proofs, so the warm sparse solver
 	// must spend fewer iterations than its own cold mode on this tree.
-	cold, err := Solve(m, Options{ColdLP: true})
+	cold, err := Solve(m, Options{ColdLP: true, Engine: EngineSparse})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,9 +236,9 @@ func TestLargeBlockBeyondDenseCap(t *testing.T) {
 	if cells := rows * (vars + 2*rows); cells <= maxTableauCells {
 		t.Fatalf("fixture no longer exceeds the dense cap: %d <= %d", cells, maxTableauCells)
 	}
-	opt := Options{DisableBlocks: true} // padding must not split into its own blocks
+	opt := Options{DisableBlocks: true, Engine: EngineSparse} // padding must not split into its own blocks
 	dense := opt
-	dense.DenseLP = true
+	dense.Engine = EngineDense
 	dsol, err := Solve(m, dense)
 	if err != nil {
 		t.Fatal(err)

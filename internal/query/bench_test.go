@@ -35,8 +35,10 @@ const benchDistinctSQL = "SELECT DISTINCT city, v FROM A"
 func BenchmarkJoinCompiled(b *testing.B)  { benchRun(b, benchJoinSQL, allocsDB(2000), Run) }
 func BenchmarkJoinReference(b *testing.B) { benchRun(b, benchJoinSQL, allocsDB(2000), RunReference) }
 
-func BenchmarkGroupByCompiled(b *testing.B)  { benchRun(b, benchGroupSQL, allocsDB(2000), Run) }
-func BenchmarkGroupByReference(b *testing.B) { benchRun(b, benchGroupSQL, allocsDB(2000), RunReference) }
+func BenchmarkGroupByCompiled(b *testing.B) { benchRun(b, benchGroupSQL, allocsDB(2000), Run) }
+func BenchmarkGroupByReference(b *testing.B) {
+	benchRun(b, benchGroupSQL, allocsDB(2000), RunReference)
+}
 
 func BenchmarkDistinctCompiled(b *testing.B) { benchRun(b, benchDistinctSQL, allocsDB(2000), Run) }
 func BenchmarkDistinctReference(b *testing.B) {

@@ -99,20 +99,46 @@ func buildSource(ev *evaluator, sel *sqlparse.Select, db *relation.Database) (*r
 }
 
 // applyResolvable filters cur by every pending conjunct that resolves
-// against its schema, marking them applied.
+// against its schema, marking them applied. The conjuncts fuse into one
+// selection-vector pass: every resolvable predicate compiles up front, rows
+// evaluate them in conjunct order with short-circuiting (a row rejected by
+// conjunct k never sees conjunct k+1, exactly like the former
+// filter-then-materialize cascade), and one Gather materializes the
+// survivors — instead of one full column copy per conjunct.
 func applyResolvable(ev *evaluator, cur *relation.Relation, pending []sqlparse.Expr, applied []bool) (*relation.Relation, error) {
+	var preds []predFn
 	for i, c := range pending {
 		if applied[i] || !resolvable(c, cur.Schema) {
 			continue
 		}
-		filtered, err := filter(ev, cur, c)
+		p, err := ev.compilePred(c, cur)
 		if err != nil {
 			return nil, err
 		}
-		cur = filtered
+		preds = append(preds, p)
 		applied[i] = true
 	}
-	return cur, nil
+	if len(preds) == 0 {
+		return cur, nil
+	}
+	var sel []int32
+	for i := 0; i < cur.Len(); i++ {
+		keep := true
+		for _, p := range preds {
+			ok, err := p(i)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			sel = append(sel, int32(i))
+		}
+	}
+	return cur.Gather(sel), nil
 }
 
 func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*relation.Relation, error) {
@@ -133,36 +159,6 @@ func loadRef(ev *evaluator, ref *sqlparse.TableRef, db *relation.Database) (*rel
 	// Zero-copy requalification: the view shares the base relation's column
 	// storage (rows are never mutated by evaluation).
 	return rel.WithSchema(ref.Alias, rel.Schema.WithQualifier(ref.Alias)), nil
-}
-
-// filterSel compiles pred against r and evaluates it over every row,
-// returning the selection vector of passing row ids.
-func filterSel(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) ([]int32, error) {
-	p, err := ev.compilePred(pred, r)
-	if err != nil {
-		return nil, err
-	}
-	var sel []int32
-	for i := 0; i < r.Len(); i++ {
-		ok, err := p(i)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			sel = append(sel, int32(i))
-		}
-	}
-	return sel, nil
-}
-
-func filter(ev *evaluator, r *relation.Relation, pred sqlparse.Expr) (*relation.Relation, error) {
-	sel, err := filterSel(ev, r, pred)
-	if err != nil {
-		return nil, err
-	}
-	// Gather copies typed column segments through the selection vector — no
-	// Value boxing, no re-interning.
-	return r.Gather(sel), nil
 }
 
 // keyColumns extracts the packed cell keys of the given columns (column-
@@ -465,32 +461,26 @@ func groupSizeHint(rows int) int {
 	return rows
 }
 
-// rowDeduper tracks distinct rows by packed keys: a hash bucket maps to the
-// previously kept representatives, compared exactly (column-major keys).
-type rowDeduper struct {
-	buckets map[uint64][]int32
-}
-
-func newRowDeduper(hint int) *rowDeduper {
-	return &rowDeduper{buckets: make(map[uint64][]int32, groupSizeHint(hint))}
-}
-
-// insert reports whether row i (under keys) is new, recording i itself as
-// the representative future rows compare against — so keys[c] must keep
-// position i valid for the deduper's lifetime.
-func (d *rowDeduper) insert(keys [][]relation.CellKey, i int) bool {
-	h := relation.HashRow(keys, i)
-	for _, p := range d.buckets[h] {
-		if relation.RowKeysEqual(keys, i, keys, int(p)) {
-			return false
+// distinctSel dedupes r's rows on the packed keys of the given columns and
+// returns the selection vector of first occurrences, in order.
+func distinctSel(r *relation.Relation, cols []int) []int32 {
+	keys := keyColumns(r, cols, r.Dict())
+	g := newGrouper(r.Len())
+	var sel32 []int32
+	for i := 0; i < r.Len(); i++ {
+		if _, fresh := g.at(keys, i); fresh {
+			sel32 = append(sel32, int32(i))
 		}
 	}
-	d.buckets[h] = append(d.buckets[h], int32(i))
-	return true
+	return sel32
 }
 
-// plainProject evaluates the SELECT list without aggregation. Pure column
-// projections are zero-copy views; DISTINCT deduplicates on packed keys.
+// plainProject evaluates the SELECT list without aggregation. Column
+// references — whether the whole list or interleaved with computed items —
+// project as zero-copy shares of their source columns; only genuinely
+// computed items evaluate their compiled closures, column-major. DISTINCT
+// dedupes the assembled rows on packed keys through the flat group table
+// and gathers the first occurrences.
 func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
 	names := make([]string, len(sel.Items))
 	for i, it := range sel.Items {
@@ -498,85 +488,56 @@ func plainProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	}
 	outSchema := relation.NewSchema(names...)
 
-	// All-column-reference SELECT lists project without evaluating anything.
-	colIdx := make([]int, len(sel.Items))
+	srcIdx := make([]int, len(sel.Items))
+	fns := make([]scalarFn, len(sel.Items))
 	allRefs := true
 	for i, it := range sel.Items {
-		ref, ok := it.Expr.(*sqlparse.ColumnRef)
-		if !ok {
-			allRefs = false
-			break
-		}
-		j, err := src.Schema.Index(ref.String())
-		if err != nil {
-			return nil, err
-		}
-		colIdx[i] = j
-	}
-	if allRefs {
-		view := src.ProjectColumns("", outSchema, colIdx)
-		if !sel.Distinct {
-			return view, nil
-		}
-		// DISTINCT on source columns: dedupe on their packed keys, then
-		// gather the surviving rows.
-		keys := keyColumns(src, colIdx, src.Dict())
-		dedup := newRowDeduper(src.Len())
-		var sel32 []int32
-		for i := 0; i < src.Len(); i++ {
-			if dedup.insert(keys, i) {
-				sel32 = append(sel32, int32(i))
+		if ref, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+			j, err := src.Schema.Index(ref.String())
+			if err != nil {
+				return nil, err
 			}
+			srcIdx[i] = j
+			continue
 		}
-		return view.Gather(sel32), nil
-	}
-
-	// Computed items: evaluate compiled expressions per row; DISTINCT keys
-	// the computed values.
-	fns := make([]scalarFn, len(sel.Items))
-	for i, it := range sel.Items {
+		allRefs = false
+		srcIdx[i] = -1
 		fn, err := ev.compileScalar(it.Expr, src)
 		if err != nil {
 			return nil, err
 		}
 		fns[i] = fn
 	}
-	out := relation.NewWithDict(src.Dict(), "", names...)
-	var dedup *rowDeduper
-	var keptKeys [][]relation.CellKey
-	if sel.Distinct {
-		dedup = newRowDeduper(src.Len())
-		keptKeys = make([][]relation.CellKey, len(fns))
-	}
-	rec := make(relation.Tuple, len(fns))
-	rowKeys := make([]relation.CellKey, len(fns))
-	for r := 0; r < src.Len(); r++ {
-		for i, fn := range fns {
-			v, err := fn(r)
-			if err != nil {
-				return nil, err
-			}
-			rec[i] = v
-		}
-		if sel.Distinct {
-			for i, v := range rec {
-				rowKeys[i] = relation.CellKeyOf(v, src.Dict())
-			}
-			// Tentatively append this row's keys so the deduper can compare
-			// against kept rows by id; roll back on duplicates.
-			for i := range keptKeys {
-				keptKeys[i] = append(keptKeys[i], rowKeys[i])
-			}
-			if !dedup.insert(keptKeys, out.Len()) {
-				for i := range keptKeys {
-					keptKeys[i] = keptKeys[i][:len(keptKeys[i])-1]
-				}
+
+	var out *relation.Relation
+	if allRefs {
+		out = src.ProjectColumns("", outSchema, srcIdx)
+	} else {
+		vals := make([][]relation.Value, len(sel.Items))
+		for i := range sel.Items {
+			if srcIdx[i] >= 0 {
 				continue
 			}
+			col := make([]relation.Value, src.Len())
+			for r := 0; r < src.Len(); r++ {
+				v, err := fns[i](r)
+				if err != nil {
+					return nil, err
+				}
+				col[r] = v
+			}
+			vals[i] = col
 		}
-		out.AppendRow(rec)
+		out = src.SpliceColumns("", outSchema, srcIdx, vals)
 	}
-	return out, nil
+	if !sel.Distinct {
+		return out, nil
+	}
+	allCols := make([]int, len(sel.Items))
+	for i := range allCols {
+		allCols[i] = i
+	}
+	return out.Gather(distinctSel(out, allCols)), nil
 }
 
 // aggState accumulates one aggregate.
@@ -779,10 +740,198 @@ func groupIndexes(sel *sqlparse.Select, src *relation.Relation) ([]int, error) {
 	return gIdx, nil
 }
 
-// groupProject aggregates per group, keying groups on packed cell keys.
-// Each group tracks only its first source row id — non-aggregate items
-// evaluate there at output time — and groups emit in first-appearance
-// order, exactly like the reference engine.
+// groupAggMode selects a groupAgg's per-row add path.
+type groupAggMode uint8
+
+const (
+	aggGeneric  groupAggMode = iota // compiled scalar per row, Value semantics
+	aggStar                         // COUNT(*) and friends: every row counts
+	aggIntCol                       // COUNT/SUM/AVG straight off an INT column
+	aggFloatCol                     // COUNT/SUM/AVG straight off a FLOAT column
+	aggCountCol                     // COUNT off any other typed column's null bitmap
+)
+
+// groupAgg accumulates one SELECT item's aggregate across every group in
+// column-major typed arrays — counts[gi], sums[gi] — instead of one boxed
+// *aggState per (item, group). COUNT/SUM/AVG over a homogeneous numeric
+// column (and COUNT over strings or *) bind the typed storage once and
+// never box a Value on the per-row path; every other shape evaluates its
+// compiled scalar per row with aggState's exact add/result semantics, so
+// results are bit-identical either way.
+type groupAgg struct {
+	fn   sqlparse.AggFunc
+	mode groupAggMode
+
+	// typed source binding (aggIntCol/aggFloatCol/aggCountCol)
+	ints  []int64
+	flts  []float64
+	nulls []uint64
+	sfn   scalarFn // aggGeneric
+
+	counts  []int64
+	sums    []float64
+	nonInts []bool // group's sum saw a non-Int value (aggState's !isInt)
+	bests   []relation.Value
+	inits   []bool
+}
+
+// newGroupAgg binds one aggregate select item against src: typed column
+// storage when the shape qualifies, a compiled scalar closure otherwise.
+func newGroupAgg(ev *evaluator, it *sqlparse.SelectItem, src *relation.Relation) (*groupAgg, error) {
+	a := &groupAgg{fn: it.Agg}
+	if it.Star {
+		a.mode = aggStar
+		return a, nil
+	}
+	if ref, ok := it.Expr.(*sqlparse.ColumnRef); ok {
+		switch it.Agg {
+		case sqlparse.AggCount, sqlparse.AggSum, sqlparse.AggAvg:
+			if j, err := src.Schema.Index(ref.String()); err == nil {
+				if ints, nulls, ok := src.IntColumn(j); ok {
+					a.mode, a.ints, a.nulls = aggIntCol, ints, nulls
+					return a, nil
+				}
+				if flts, nulls, ok := src.FloatColumn(j); ok {
+					a.mode, a.flts, a.nulls = aggFloatCol, flts, nulls
+					return a, nil
+				}
+				if it.Agg == sqlparse.AggCount {
+					if _, nulls, ok := src.StringColumn(j); ok {
+						a.mode, a.nulls = aggCountCol, nulls
+						return a, nil
+					}
+				}
+			}
+		}
+	}
+	fn, err := ev.compileScalar(it.Expr, src)
+	if err != nil {
+		return nil, err
+	}
+	a.sfn = fn
+	return a, nil
+}
+
+// addGroup extends the accumulator arrays for a freshly created group.
+func (a *groupAgg) addGroup() {
+	a.counts = append(a.counts, 0)
+	a.sums = append(a.sums, 0)
+	a.nonInts = append(a.nonInts, false)
+	if a.fn == sqlparse.AggMax || a.fn == sqlparse.AggMin {
+		a.bests = append(a.bests, relation.Null())
+		a.inits = append(a.inits, false)
+	}
+}
+
+// add folds source row r into group gi.
+func (a *groupAgg) add(gi int32, r int) error {
+	switch a.mode {
+	case aggStar:
+		if a.fn == sqlparse.AggCount {
+			a.counts[gi]++
+			return nil
+		}
+		return a.addValue(gi, relation.Int(1))
+	case aggIntCol:
+		if relation.NullAt(a.nulls, r) {
+			return nil
+		}
+		a.counts[gi]++
+		if a.fn != sqlparse.AggCount {
+			a.sums[gi] += float64(a.ints[r])
+		}
+		return nil
+	case aggFloatCol:
+		if relation.NullAt(a.nulls, r) {
+			return nil
+		}
+		a.counts[gi]++
+		if a.fn != sqlparse.AggCount {
+			a.sums[gi] += a.flts[r]
+			a.nonInts[gi] = true
+		}
+		return nil
+	case aggCountCol:
+		if !relation.NullAt(a.nulls, r) {
+			a.counts[gi]++
+		}
+		return nil
+	}
+	v, err := a.sfn(r)
+	if err != nil {
+		return err
+	}
+	return a.addValue(gi, v)
+}
+
+// addValue replicates aggState.add against the column-major arrays.
+func (a *groupAgg) addValue(gi int32, v relation.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.counts[gi]++
+	switch a.fn {
+	case sqlparse.AggCount:
+		return nil
+	case sqlparse.AggSum, sqlparse.AggAvg:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("query: %s over non-numeric value %v", a.fn, v)
+		}
+		if v.Kind() != relation.KindInt {
+			a.nonInts[gi] = true
+		}
+		a.sums[gi] += f
+		return nil
+	case sqlparse.AggMax, sqlparse.AggMin:
+		if !a.inits[gi] {
+			a.bests[gi] = v
+			a.inits[gi] = true
+			return nil
+		}
+		c, ok := v.Compare(a.bests[gi])
+		if !ok {
+			return fmt.Errorf("query: %s over incomparable values %v and %v", a.fn, v, a.bests[gi])
+		}
+		if (a.fn == sqlparse.AggMax && c > 0) || (a.fn == sqlparse.AggMin && c < 0) {
+			a.bests[gi] = v
+		}
+		return nil
+	}
+	return fmt.Errorf("query: unknown aggregate %v", a.fn)
+}
+
+// result materializes group gi's aggregate, matching aggState.result.
+func (a *groupAgg) result(gi int) relation.Value {
+	switch a.fn {
+	case sqlparse.AggCount:
+		return relation.Int(a.counts[gi])
+	case sqlparse.AggSum:
+		if a.counts[gi] == 0 {
+			return relation.Null()
+		}
+		if !a.nonInts[gi] {
+			return relation.Int(int64(a.sums[gi]))
+		}
+		return relation.Float(a.sums[gi])
+	case sqlparse.AggAvg:
+		if a.counts[gi] == 0 {
+			return relation.Null()
+		}
+		return relation.Float(a.sums[gi] / float64(a.counts[gi]))
+	case sqlparse.AggMax, sqlparse.AggMin:
+		if !a.inits[gi] {
+			return relation.Null()
+		}
+		return a.bests[gi]
+	}
+	return relation.Null()
+}
+
+// groupProject aggregates per group, keying groups on packed cell keys
+// through the flat group table. Each group tracks only its first source row
+// id — non-aggregate items evaluate there at output time — and groups emit
+// in first-appearance order, exactly like the reference engine.
 func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (*relation.Relation, error) {
 	gIdx, err := groupIndexes(sel, src)
 	if err != nil {
@@ -791,58 +940,38 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	keys := keyColumns(src, gIdx, src.Dict())
 
 	fns := make([]scalarFn, len(sel.Items))
+	aggs := make([]*groupAgg, len(sel.Items))
 	for i, it := range sel.Items {
-		if it.Star {
+		if it.Agg != sqlparse.AggNone {
+			aggs[i], err = newGroupAgg(ev, it, src)
+			if err != nil {
+				return nil, err
+			}
 			continue
 		}
-		fn, err := ev.compileScalar(it.Expr, src)
+		fns[i], err = ev.compileScalar(it.Expr, src)
 		if err != nil {
 			return nil, err
 		}
-		fns[i] = fn
 	}
 
-	type group struct {
-		first  int32
-		states []*aggState
-	}
-	var groups []group
-	buckets := make(map[uint64][]int32, groupSizeHint(src.Len()))
-	one := relation.Int(1)
+	var firsts []int32
+	table := newGrouper(src.Len())
 	for r := 0; r < src.Len(); r++ {
-		h := relation.HashRow(keys, r)
-		gi := int32(-1)
-		for _, cand := range buckets[h] {
-			if relation.RowKeysEqual(keys, r, keys, int(groups[cand].first)) {
-				gi = cand
-				break
-			}
-		}
-		if gi < 0 {
-			gi = int32(len(groups))
-			states := make([]*aggState, len(sel.Items))
-			for i, it := range sel.Items {
-				if it.Agg != sqlparse.AggNone {
-					states[i] = newAggState(it.Agg)
+		gi, fresh := table.at(keys, r)
+		if fresh {
+			firsts = append(firsts, int32(r))
+			for _, a := range aggs {
+				if a != nil {
+					a.addGroup()
 				}
 			}
-			groups = append(groups, group{first: int32(r), states: states})
-			buckets[h] = append(buckets[h], gi)
 		}
-		g := &groups[gi]
-		for i, it := range sel.Items {
-			if it.Agg == sqlparse.AggNone {
+		for _, a := range aggs {
+			if a == nil {
 				continue
 			}
-			v := one
-			if !it.Star {
-				var err error
-				v, err = fns[i](r)
-				if err != nil {
-					return nil, err
-				}
-			}
-			if err := g.states[i].add(v); err != nil {
+			if err := a.add(gi, r); err != nil {
 				return nil, err
 			}
 		}
@@ -853,14 +982,13 @@ func groupProject(ev *evaluator, sel *sqlparse.Select, src *relation.Relation) (
 	}
 	out := relation.NewWithDict(src.Dict(), "", names...)
 	rec := make(relation.Tuple, len(sel.Items))
-	for gi := range groups {
-		g := &groups[gi]
-		for i, it := range sel.Items {
-			if it.Agg != sqlparse.AggNone {
-				rec[i] = g.states[i].result()
+	for gi := range firsts {
+		for i := range sel.Items {
+			if aggs[i] != nil {
+				rec[i] = aggs[i].result(gi)
 				continue
 			}
-			v, err := fns[i](int(g.first))
+			v, err := fns[i](int(firsts[gi]))
 			if err != nil {
 				return nil, err
 			}

@@ -44,6 +44,28 @@ func (r *Relation) AppendValueColumn(name string, sch *Schema, vals []Value) *Re
 	return out
 }
 
+// SpliceColumns assembles a projection output mixing shared and computed
+// columns: output column k is a zero-copy share of r's column srcIdx[k]
+// when srcIdx[k] >= 0, and otherwise a fresh column built from vals[k]
+// (one Value per source row). Shared columns follow the WithSchema
+// contract: neither relation may be appended to afterwards.
+func (r *Relation) SpliceColumns(name string, sch *Schema, srcIdx []int, vals [][]Value) *Relation {
+	out := &Relation{Name: name, Schema: sch, dict: r.dict, nrows: r.nrows}
+	out.cols = make([]*column, len(srcIdx))
+	for k, j := range srcIdx {
+		if j >= 0 {
+			out.cols[k] = r.cols[j]
+			continue
+		}
+		nc := &column{}
+		for i, v := range vals[k] {
+			nc.append(r.dict, i, v)
+		}
+		out.cols[k] = nc
+	}
+	return out
+}
+
 // ConcatGather assembles a join output: left's columns gathered through
 // selL side by side with right's columns gathered through selR (selL and
 // selR align pairwise). The output uses left's dictionary; right-side
