@@ -68,7 +68,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
-	for side, db := range map[string]*relation.Database{"db1": db1, "db2": db2} {
+	// Fixed side order so the "wrote ..." listing is reproducible run to run.
+	for _, out := range [2]struct {
+		side string
+		db   *relation.Database
+	}{{"db1", db1}, {"db2", db2}} {
+		side, db := out.side, out.db
 		for _, rel := range db.Relations() {
 			path := filepath.Join(*outDir, side, rel.Name+".csv")
 			if err := rel.WriteCSVFile(path); err != nil {

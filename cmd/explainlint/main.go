@@ -1,0 +1,74 @@
+// Command explainlint runs the project's static-analysis suite: the five
+// analyzers in internal/lint that machine-check the determinism,
+// cancellation, mutex, zero-copy-aliasing, and float-comparison invariants
+// the differential tests rely on.
+//
+// Usage:
+//
+//	explainlint [-json] [packages...]
+//
+// Packages default to ./... and accept the usual /... suffix. Exit status
+// is 0 when clean, 1 when findings survive suppression, 2 on load or
+// type-check failure. With -json, findings are emitted as a JSON array of
+// {file, line, col, analyzer, message} records (relative file paths), so
+// tooling can track finding counts per PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"explain3d/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON records")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explainlint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explainlint:", err)
+		os.Exit(2)
+	}
+	root, _, err := lint.FindModule(cwd)
+	if err == nil {
+		for i := range findings {
+			if rel, rerr := filepath.Rel(root, findings[i].File); rerr == nil && !strings.HasPrefix(rel, "..") {
+				findings[i].File = filepath.ToSlash(rel)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "explainlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "explainlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

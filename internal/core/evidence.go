@@ -59,15 +59,24 @@ func ExplanationsFromEvidence(inst *Instance, evidence []Evidence) *Explanations
 	type comp struct {
 		ls, rs []int
 	}
+	// Ascending tuple order, not map order: component member lists feed a
+	// float impact sum and a largest-|impact| tie-break below, so their
+	// order must not depend on random map iteration.
 	comps := make(map[[2]int]*comp)
-	for i := range matchedL {
+	for i := 0; i < inst.T1.Len(); i++ {
+		if !matchedL[i] {
+			continue
+		}
 		root := find(nodeL(i))
 		if comps[root] == nil {
 			comps[root] = &comp{}
 		}
 		comps[root].ls = append(comps[root].ls, i)
 	}
-	for j := range matchedR {
+	for j := 0; j < inst.T2.Len(); j++ {
+		if !matchedR[j] {
+			continue
+		}
 		root := find(nodeR(j))
 		if comps[root] == nil {
 			comps[root] = &comp{}

@@ -53,7 +53,15 @@ func Score(inst *Instance, e *Explanations, p Params) float64 {
 		changed[ve.Key()] = true
 	}
 	total := 0.0
-	for side, t := range map[Side]*Canonical{Left: inst.T1, Right: inst.T2} {
+	// Left before Right, always: the per-tuple log-probabilities accumulate
+	// into a float sum, and float addition is not associative — iterating a
+	// map literal here made the last bits of the score depend on Go's
+	// random map order.
+	for _, st := range [2]struct {
+		side Side
+		t    *Canonical
+	}{{Left, inst.T1}, {Right, inst.T2}} {
+		side, t := st.side, st.t
 		for i := 0; i < t.Len(); i++ {
 			a, b, c := p.tupleConsts(side, i)
 			pk := ProvExpl{Side: side, Tuple: i}.Key()

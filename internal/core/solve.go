@@ -24,6 +24,8 @@ import (
 // collected by partition index before the final sort, so the output is
 // identical at any worker count (when solves complete without hitting a
 // budget — budget-limited incumbents are inherently timing-dependent).
+//
+//lint:ctxroot public entry point without a ctx parameter: it owns the shared solver budget and derives the deadline context all workers inherit
 func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {

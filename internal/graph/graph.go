@@ -85,13 +85,14 @@ func (g *Graph) TotalNodeWeight() int {
 	return t
 }
 
-// TotalEdgeWeight sums all edge weights (each undirected edge once).
+// TotalEdgeWeight sums all edge weights (each undirected edge once), in
+// sorted neighbor order so the float sum is bit-identical across runs.
 func (g *Graph) TotalEdgeWeight() float64 {
 	t := 0.0
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
-			if u < v {
-				t += w
+		for _, e := range g.Neighbors(u) {
+			if u < e.To {
+				t += e.Weight
 			}
 		}
 	}
@@ -119,6 +120,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 			for v := range g.adj[u] {
 				if !seen[v] {
 					seen[v] = true
+					//lint:ignore mapiter DFS push order cannot reach the output: comp is sorted before return and membership is order-independent
 					stack = append(stack, v)
 				}
 			}
@@ -135,9 +137,9 @@ func (g *Graph) ConnectedComponents() [][]int {
 func (g *Graph) CutWeight(part []int) float64 {
 	cut := 0.0
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
-			if u < v && part[u] != part[v] {
-				cut += w
+		for _, e := range g.Neighbors(u) {
+			if u < e.To && part[u] != part[e.To] {
+				cut += e.Weight
 			}
 		}
 	}

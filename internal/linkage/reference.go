@@ -60,6 +60,7 @@ func SimilaritiesPairwise(left, right *relation.Relation, leftIdx, rightIdx []in
 				for tok := range rTok[k][j] {
 					if !seen[tok] {
 						seen[tok] = true
+						//lint:ignore mapiter each posting list receives j in ascending outer-loop order; token order only selects which list grows
 						index[tok] = append(index[tok], j)
 					}
 				}

@@ -20,8 +20,8 @@ import (
 // Jaccard) is invariant under relabeling, so match output is unchanged.
 type tokenSpace struct {
 	mu  sync.Mutex
-	ids map[string]uint32
-	n   uint32
+	ids map[string]uint32 // guarded by mu
+	n   uint32            // guarded by mu
 }
 
 // dictCache holds per-dictionary translation state. Each side of a linkage
@@ -34,6 +34,7 @@ type dictCache struct {
 }
 
 func newTokenSpace() *tokenSpace {
+	//lint:ignore guarded constructor: the fresh tokenSpace is not shared until returned
 	return &tokenSpace{ids: make(map[string]uint32)}
 }
 
@@ -58,6 +59,8 @@ func (ts *tokenSpace) intern(s string) uint32 {
 // translate returns the sorted joint token ids of the dict string behind
 // code. Tokenization runs once per distinct string (cached in the Dict);
 // the joint-space translation is also cached per distinct string.
+//
+//lint:view
 func (ts *tokenSpace) translate(dc *dictCache, code uint32) []uint32 {
 	for int(code) >= len(dc.rowToks) {
 		dc.rowToks = append(dc.rowToks, nil)
@@ -100,6 +103,7 @@ func (ts *tokenSpace) tokenColumns(r *relation.Relation, idx []int) [][][]uint32
 			if !ok {
 				continue // NULL
 			}
+			//lint:ignore viewalias blocking lists are shared read-only by design: every consumer merges them without mutating, and the cache outlives them all
 			rows[i] = ts.translate(dc, code)
 		}
 		out[k] = rows

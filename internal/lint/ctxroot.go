@@ -1,0 +1,55 @@
+package lint
+
+// ctxroot: flag context.Background() / context.TODO() in library packages.
+// The solve path is context-driven end to end (milp.SolveContext cancels
+// cooperatively), so a library function minting its own root context
+// silently detaches that subtree from the caller's deadline — exactly what
+// an explanation-serving daemon cannot afford. Entry points that genuinely
+// own a fresh context carry a //lint:ctxroot annotation on their doc
+// comment; package main is exempt (processes own their root).
+
+import (
+	"go/ast"
+)
+
+// CtxRootAnalyzer returns the ctxroot analyzer.
+func CtxRootAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxroot",
+		Doc:  "context.Background/TODO outside annotated entry points",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			enclosingFuncs(pass.Pkg, file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+				if fn := funcObj(pass.Pkg, fd); fn != nil {
+					if _, ok := pass.Index.CtxRoots[fn]; ok {
+						return
+					}
+				}
+				checkCtxFunc(pass, body)
+			})
+		}
+	}
+	return a
+}
+
+func checkCtxFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		switch fn.Name() {
+		case "Background", "TODO":
+			pass.Reportf(call.Pos(), "context.%s() in a library function detaches this call tree from the caller's deadline; accept a ctx parameter, or annotate the entry point //lint:ctxroot <reason>", fn.Name())
+		}
+		return true
+	})
+}

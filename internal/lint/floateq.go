@@ -1,0 +1,68 @@
+package lint
+
+// floateq: == and != on floating-point operands in the solver. The MILP
+// engine compares objectives, bounds, and reduced costs through tolerance
+// constants (feasTol, costTol, pivotTol); a bare float equality is almost
+// always a latent nondeterminism — it flips with summation order, FMA
+// contraction, and -ffast-math-style reassociation across refactors. The
+// sparse kernels legitimately test structural zeros exactly (a stored
+// coefficient either is 0.0 or it is not); those functions carry a
+// //lint:floatexact annotation naming that argument. Everything else
+// needs a tolerance comparison or a per-site suppression.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqAnalyzer returns the floateq analyzer. The driver scopes it to
+// internal/milp; the fixture harness runs it directly.
+func FloatEqAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "exact ==/!= on floating-point operands outside approved kernels",
+		// Scoped to the solver: numeric code elsewhere compares parsed
+		// values and test fixtures where exact equality is the contract.
+		Match: func(pkgPath string) bool {
+			return strings.Contains(pkgPath, "internal/milp")
+		},
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			enclosingFuncs(pass.Pkg, file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+				if fn := funcObj(pass.Pkg, fd); fn != nil {
+					if _, ok := pass.Index.FloatExact[fn]; ok {
+						return
+					}
+				}
+				checkFloatEqFunc(pass, body)
+			})
+		}
+	}
+	return a
+}
+
+func checkFloatEqFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if !isFloatOperand(pass, b.X) && !isFloatOperand(pass, b.Y) {
+			return true
+		}
+		pass.Reportf(b.OpPos, "floating-point %s is exact equality; compare through a tolerance, or annotate the function //lint:floatexact <reason> if exactness is intended", b.Op)
+		return true
+	})
+}
+
+func isFloatOperand(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,97 @@
+package lint
+
+// guarded: struct fields annotated "// guarded by <mu>" may only be touched
+// by functions that lock that mutex (Lock or RLock) somewhere in their
+// body, or whose name ends in "Locked" (the repo's convention for helpers
+// called with the lock already held). Keyed composite literals that
+// initialize guarded fields are flagged too — constructors suppress the
+// site with //lint:ignore and a "fresh object, not yet shared" reason, so
+// every lock-free touch of shared state is visibly accounted for.
+//
+// This is deliberately a presence check, not a path-sensitive one: it
+// catches the realistic failure (a new method or free function reading the
+// field with no locking at all) without dragging in an SSA engine.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GuardedAnalyzer returns the guarded analyzer.
+func GuardedAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "guarded",
+		Doc:  "access to a `guarded by mu` field outside a locking function",
+	}
+	a.Run = func(pass *Pass) {
+		if len(pass.Index.Guarded) == 0 {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			enclosingFuncs(pass.Pkg, file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+				checkGuardedFunc(pass, fd, body)
+			})
+		}
+	}
+	return a
+}
+
+func checkGuardedFunc(pass *Pass, fd *ast.FuncDecl, body *ast.BlockStmt) {
+	calledWithLockHeld := strings.HasSuffix(fd.Name.Name, "Locked")
+	locked := lockedMutexes(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.Pkg.Info.Uses[v.Sel]
+			if obj == nil {
+				return true
+			}
+			g := pass.Index.Guarded[asVar(obj)]
+			if g == nil || calledWithLockHeld || locked[g.Mutex] {
+				return true
+			}
+			pass.Reportf(v.Sel.Pos(), "%s.%s is guarded by %s, but %s neither locks %s nor is named *Locked", g.Struct, v.Sel.Name, g.Mutex, fd.Name.Name, g.Mutex)
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				g := pass.Index.Guarded[asVar(pass.Pkg.Info.Uses[key])]
+				if g == nil || calledWithLockHeld || locked[g.Mutex] {
+					continue
+				}
+				pass.Reportf(kv.Pos(), "%s.%s is guarded by %s, but %s initializes it without locking (suppress in constructors: the object is not yet shared)", g.Struct, key.Name, g.Mutex, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// lockedMutexes collects the names of mutex fields this body calls
+// Lock/RLock on (receiver identity is not tracked; the mutex field name is
+// the unit of the convention).
+func lockedMutexes(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			out[mu.Sel.Name] = true
+		} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,443 @@
+// Package lint is explainlint: a stdlib-only static-analysis suite that
+// machine-checks the invariants explain3d's correctness story rests on —
+// deterministic iteration wherever output order matters (the differential
+// tests demand byte-identical explanations), request-context discipline on
+// the solve path, mutex discipline on annotated shared fields, no writes
+// through zero-copy views, and no exact floating-point equality in the
+// solver outside approved kernels.
+//
+// Analyzers are driven from source via go/parser + go/types only (no
+// golang.org/x/tools), so the module keeps its dependency-free build.
+//
+// Directives:
+//
+//	//lint:ignore <analyzer> <reason>   suppress findings of <analyzer> on
+//	                                    this line or the next one; the
+//	                                    reason is mandatory
+//	//lint:ctxroot <reason>             (func doc) sanctioned root allowed
+//	                                    to mint context.Background/TODO
+//	//lint:floatexact <reason>          (func doc) approved exact float
+//	                                    comparisons (sparse kernels)
+//	//lint:view                         (func doc) returned slices alias
+//	                                    internal storage: callers must not
+//	                                    write through or retain them
+//	// guarded by <mu>                  (struct field) field may only be
+//	                                    touched with <mu> held
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic at a position.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// An Analyzer checks one invariant over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Match restricts the analyzer to packages whose import path satisfies
+	// it; nil means every package. The fixture harness bypasses Match and
+	// exercises Run directly.
+	Match func(pkgPath string) bool
+	Run   func(*Pass)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIterAnalyzer(),
+		CtxRootAnalyzer(),
+		GuardedAnalyzer(),
+		ViewAliasAnalyzer(),
+		FloatEqAnalyzer(),
+	}
+}
+
+// A Pass hands one analyzer one package plus the cross-package annotation
+// index and a sink for findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	Index    *Index
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves an expression's type, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Guard records a "guarded by" annotation on a struct field.
+type Guard struct {
+	Mutex  string // name of the guarding mutex field
+	Struct string // display name of the owning struct
+}
+
+// Index holds annotations harvested from every loaded package, so analyzers
+// see //lint:view on relation.Dict.Strings while checking internal/query.
+type Index struct {
+	Views      map[*types.Func]bool   // view-returning functions
+	CtxRoots   map[*types.Func]string // sanctioned context roots → reason
+	FloatExact map[*types.Func]string // approved exact-comparison funcs → reason
+	Guarded    map[*types.Var]*Guard  // struct field → its guard
+}
+
+// NewIndex returns an empty annotation index.
+func NewIndex() *Index {
+	return &Index{
+		Views:      make(map[*types.Func]bool),
+		CtxRoots:   make(map[*types.Func]string),
+		FloatExact: make(map[*types.Func]string),
+		Guarded:    make(map[*types.Var]*Guard),
+	}
+}
+
+const directivePrefix = "lint:"
+
+// directive is one parsed //lint:... comment line.
+type directive struct {
+	verb string // ignore, ctxroot, floatexact, view
+	args string // text after the verb
+	line int
+	pos  token.Pos
+}
+
+// parseDirectives extracts //lint: comment lines from a file. Malformed
+// directives are reported as findings of the pseudo-analyzer "lint".
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(rest, " ")
+			out = append(out, directive{
+				verb: verb,
+				args: strings.TrimSpace(args),
+				line: fset.Position(c.Pos()).Line,
+				pos:  c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// validAnalyzers is the set of names //lint:ignore may reference.
+func validAnalyzers() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Analyzers() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// suppressions maps "file:line" to the set of analyzer names ignored there.
+// An //lint:ignore directive covers its own line (trailing comment) and the
+// line immediately below it (comment on its own line above the statement).
+type suppressions map[string]map[string]bool
+
+func (s suppressions) add(file string, line int, analyzer string) {
+	for _, l := range [2]int{line, line + 1} {
+		key := fmt.Sprintf("%s:%d", file, l)
+		if s[key] == nil {
+			s[key] = make(map[string]bool)
+		}
+		s[key][analyzer] = true
+	}
+}
+
+func (s suppressions) covers(f Finding) bool {
+	set := s[fmt.Sprintf("%s:%d", f.File, f.Line)]
+	return set[f.Analyzer]
+}
+
+// harvest scans one package for annotations and ignore directives, filling
+// the index and the suppression table; malformed directives become findings.
+func harvest(pkg *Package, fset *token.FileSet, idx *Index, sup suppressions, findings *[]Finding, valid map[string]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		*findings = append(*findings, Finding{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: "lint", Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, d := range parseDirectives(fset, file) {
+			switch d.verb {
+			case "ignore":
+				name, reason, _ := strings.Cut(d.args, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					report(d.pos, "malformed //lint:ignore: need \"//lint:ignore <analyzer> <reason>\" (reason is mandatory)")
+					continue
+				}
+				if !valid[name] {
+					report(d.pos, "//lint:ignore names unknown analyzer %q", name)
+					continue
+				}
+				sup.add(fset.Position(d.pos).Filename, d.line, name)
+			case "ctxroot", "floatexact":
+				if d.args == "" {
+					report(d.pos, "malformed //lint:%s: a justifying reason is mandatory", d.verb)
+				}
+			case "view":
+				// No arguments needed; harvested below from func docs.
+			default:
+				report(d.pos, "unknown directive //lint:%s", d.verb)
+			}
+		}
+		// Function-level annotations (doc comments).
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				verb, args, _ := strings.Cut(rest, " ")
+				switch verb {
+				case "ctxroot":
+					idx.CtxRoots[fn] = strings.TrimSpace(args)
+				case "floatexact":
+					idx.FloatExact[fn] = strings.TrimSpace(args)
+				case "view":
+					idx.Views[fn] = true
+				}
+			}
+		}
+		// Guarded-field annotations on struct definitions.
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						idx.Guarded[v] = &Guard{Mutex: mu, Struct: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardAnnotation extracts the mutex name from a "guarded by <mu>" comment
+// on a struct field (doc comment above or trailing line comment).
+func guardAnnotation(field *ast.Field) string {
+	scan := func(cg *ast.CommentGroup) string {
+		if cg == nil {
+			return ""
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "guarded by "); ok {
+				mu, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				return strings.TrimSuffix(mu, ".")
+			}
+		}
+		return ""
+	}
+	if mu := scan(field.Doc); mu != "" {
+		return mu
+	}
+	return scan(field.Comment)
+}
+
+// Run loads the packages matching patterns under the module rooted at dir
+// and returns the suite's surviving findings, sorted by position. A non-nil
+// error means the load or type-check failed (distinct from findings).
+func Run(dir string, patterns []string) ([]Finding, error) {
+	root, modPath, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader(root, modPath)
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := loader.LoadPath(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return RunPackages(loader.Fset, pkgs, modPath)
+}
+
+// RunPackages runs the suite over already-loaded packages.
+func RunPackages(fset *token.FileSet, pkgs []*Package, modPath string) ([]Finding, error) {
+	idx := NewIndex()
+	sup := make(suppressions)
+	valid := validAnalyzers()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		harvest(pkg, fset, idx, sup, &findings, valid)
+	}
+	for _, analyzer := range Analyzers() {
+		for _, pkg := range pkgs {
+			if analyzer.Match != nil && !analyzer.Match(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: analyzer,
+				Fset:     fset,
+				Pkg:      pkg,
+				Index:    idx,
+				findings: &findings,
+			}
+			analyzer.Run(pass)
+		}
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sup.covers(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].File != kept[b].File {
+			return kept[a].File < kept[b].File
+		}
+		if kept[a].Line != kept[b].Line {
+			return kept[a].Line < kept[b].Line
+		}
+		if kept[a].Col != kept[b].Col {
+			return kept[a].Col < kept[b].Col
+		}
+		return kept[a].Analyzer < kept[b].Analyzer
+	})
+	return kept, nil
+}
+
+// enclosingFuncs visits every function body in a file — declarations and
+// function literals — handing the analyzer the innermost declared function
+// whose body contains the literal (annotations live on declarations).
+func enclosingFuncs(pkg *Package, file *ast.File, visit func(fd *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+	}
+}
+
+// funcObj resolves a FuncDecl to its types.Func.
+func funcObj(pkg *Package, fd *ast.FuncDecl) *types.Func {
+	if fd == nil {
+		return nil
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// rootIdent walks to the leftmost identifier of an lvalue-ish expression:
+// x, x.f, x[i], x.f[i].g → x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (methods included), or nil for builtins and dynamic calls.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// asVar narrows an object to *types.Var (nil-safe).
+func asVar(o types.Object) *types.Var {
+	v, _ := o.(*types.Var)
+	return v
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

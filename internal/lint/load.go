@@ -1,0 +1,297 @@
+package lint
+
+// Package loading without golang.org/x/tools: a recursive module-local
+// importer over go/parser + go/types. Packages inside the module are parsed
+// and type-checked from source on demand (with their ASTs retained for the
+// analyzers); everything else — the standard library — is delegated to the
+// stdlib source importer, so the module keeps its no-go.sum build.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package with its syntax retained.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Filenames  []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads module-local packages recursively. It implements
+// types.ImporterFrom: imports under the module path are parsed and checked
+// from source; all other paths fall through to the stdlib source importer.
+type Loader struct {
+	ModuleRoot string // absolute directory holding go.mod
+	ModulePath string // module path from go.mod ("" = no local imports)
+	Fset       *token.FileSet
+
+	pkgs     map[string]*Package // import path → loaded package
+	loading  map[string]bool     // cycle detection
+	fallback types.ImporterFrom
+}
+
+// NewLoader creates a loader for the module rooted at dir.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		Fset:       fset,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		fallback:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the module
+// root directory and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Packages returns every module-local package loaded so far, sorted by
+// import path (map iteration must not order anything user-visible).
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ImportPath < out[b].ImportPath })
+	return out
+}
+
+// dirOf maps a module-local import path to its directory.
+func (l *Loader) dirOf(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+func (l *Loader) isLocal(path string) bool {
+	return l.ModulePath != "" &&
+		(path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/"))
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if l.isLocal(path) {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.ImportFrom(path, dir, mode)
+}
+
+// LoadPath loads (or returns the cached) module-local package.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	p, err := l.load(path, l.dirOf(path))
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir loads a directory as a standalone package under an explicit
+// import path — used by tests to load fixture packages outside any module.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	p, err := l.load(asPath, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[asPath] = p
+	return p, nil
+}
+
+// load parses and type-checks the non-test Go files of one directory.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	filenames := make([]string, 0, len(names))
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		filenames = append(filenames, full)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Filenames:  filenames,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// goFilesIn lists the non-test Go files of dir that build on the current
+// platform, sorted for deterministic positions and diagnostics.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Respect build constraints (//go:build lines, _GOOS suffixes) so a
+		// platform-gated file never poisons the type-check.
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExpandPatterns resolves command-line package patterns ("./...", "./cmd",
+// "internal/milp/...") into module-local import paths. Directories named
+// testdata or vendor, and hidden directories, are skipped.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dir string) error {
+		names, err := goFilesIn(dir)
+		if err != nil || len(names) == 0 {
+			return nil // not a package directory; fine under a ... walk
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if err := add(base); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return add(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,29 @@
+// Package ctxroot exercises the ctxroot analyzer: library functions must not
+// mint root contexts outside annotated entry points.
+package ctxroot
+
+import (
+	"context"
+	"time"
+)
+
+func background() {
+	ctx := context.Background() // want `context\.Background\(\) in a library function detaches this call tree`
+	_ = ctx
+}
+
+func todo() error {
+	_ = context.TODO() // want `context\.TODO\(\) in a library function detaches this call tree`
+	return nil
+}
+
+// sanctioned is an entry point that genuinely owns a fresh root context.
+//
+//lint:ctxroot fixture: sanctioned entry point owning the root
+func sanctioned() context.Context {
+	return context.Background()
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}

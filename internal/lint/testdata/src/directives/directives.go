@@ -1,0 +1,26 @@
+// Package directives exercises the directive validation of the lint driver:
+// malformed or unknown //lint: comments are findings of the pseudo-analyzer
+// "lint". Expectations live in TestDirectiveValidation (the findings land on
+// the comment lines themselves, where a trailing want comment would change
+// the directive's arguments).
+package directives
+
+func missingReason() {
+	//lint:ignore mapiter
+	_ = 1
+}
+
+func unknownAnalyzer() {
+	//lint:ignore nosuchanalyzer because reasons
+	_ = 1
+}
+
+func unknownVerb() {
+	//lint:frobnicate something
+	_ = 1
+}
+
+// missingFloatexactReason has an annotation with no justification.
+//
+//lint:floatexact
+func missingFloatexactReason() {}

@@ -1,0 +1,43 @@
+// Package floateq exercises the floateq analyzer: bare ==/!= on float
+// operands in the solver is a latent nondeterminism unless the function is
+// an approved exact kernel.
+package floateq
+
+import "math"
+
+const tol = 1e-9
+
+func exact(a, b float64) bool {
+	return a == b // want `floating-point == is exact equality`
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want `floating-point != is exact equality`
+}
+
+func toleranced(a, b float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+// structuralZero is a sparse kernel: a stored coefficient either is 0.0 or
+// it is not, which is exact in IEEE arithmetic.
+//
+//lint:floatexact fixture: structural-zero test is exact in IEEE arithmetic
+func structuralZero(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func suppressedSite(a float64) bool {
+	//lint:ignore floateq fixture: exactness intended at this one site
+	return a == 0
+}

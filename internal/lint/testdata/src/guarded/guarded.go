@@ -1,0 +1,35 @@
+// Package guarded exercises the guarded analyzer: fields annotated
+// "guarded by <mu>" may only be touched with the mutex held (or from a
+// *Locked helper).
+package guarded
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// guarded by mu
+	rows []int
+}
+
+func newTable() *table {
+	//lint:ignore guarded constructor: the fresh table is not shared until returned
+	return &table{rows: []int{}}
+}
+
+func badNew() *table {
+	return &table{rows: make([]int, 4)} // want `table\.rows is guarded by mu, but badNew initializes it without locking`
+}
+
+func (t *table) lenUnguarded() int {
+	return len(t.rows) // want `table\.rows is guarded by mu, but lenUnguarded neither locks mu nor is named \*Locked`
+}
+
+func (t *table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
+
+func (t *table) lenLocked() int {
+	return len(t.rows)
+}

@@ -1,0 +1,87 @@
+// Package mapiter exercises the mapiter analyzer: ranges over maps whose
+// bodies feed ordered output must not depend on Go's random iteration order.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a subsequent sort`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `accumulation into total inside range over map is order-sensitive`
+	}
+	return total
+}
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // exact and commutative: allowed
+	}
+	return n
+}
+
+func stringAccum(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `accumulation into s inside range over map is order-sensitive`
+	}
+	return s
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on ch inside range over map emits in random order`
+	}
+}
+
+func printer(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `call to fmt.Println inside range over map emits in random order`
+	}
+}
+
+func writer(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `call to WriteString inside range over map emits in random order`
+	}
+}
+
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore mapiter fixture: the caller treats out as an unordered set
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package viewalias exercises the viewalias analyzer: slices returned by
+// //lint:view functions alias live internal storage and must not be written
+// through, appended to, or retained.
+package viewalias
+
+var store = []int64{1, 2, 3}
+
+// view returns the backing array directly: callers get a zero-copy snapshot
+// they must not write through or retain.
+//
+//lint:view
+func view() []int64 { return store }
+
+type holder struct {
+	vals []int64
+}
+
+func writeThrough() {
+	v := view()
+	v[0] = 9 // want `write through view slice v mutates shared storage`
+}
+
+func incThrough() {
+	v := view()
+	v[0]++ // want `write through view slice v mutates shared storage`
+}
+
+func appendTo() []int64 {
+	v := view()
+	return append(v, 4) // want `append to view slice v can write into the owner's shared backing array`
+}
+
+func retainField(h *holder) {
+	v := view()
+	h.vals = v // want `view slice retained in struct field vals outlives its zero-copy contract`
+}
+
+func retainDirect(h *holder) {
+	h.vals = view() // want `view slice retained in struct field vals outlives its zero-copy contract`
+}
+
+func retainElement(xs [][]int64) {
+	xs[0] = view() // want `view slice retained in element of xs outlives its zero-copy contract`
+}
+
+func copied() []int64 {
+	v := view()
+	out := make([]int64, len(v))
+	copy(out, v)
+	out[0] = 9
+	return out
+}
+
+func suppressedRetain(h *holder) {
+	//lint:ignore viewalias fixture: ownership is documented and the holder dies first
+	h.vals = view()
+}

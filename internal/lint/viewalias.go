@@ -1,0 +1,157 @@
+package lint
+
+// viewalias: slices obtained from //lint:view-annotated functions — the
+// dictionary's Strings snapshot, the typed column views
+// (IntColumn/FloatColumn/StringColumn), selection vectors handed to Gather
+// — alias live internal storage. Writing through one corrupts the relation
+// behind every other reader's back; appending to one can race the owner's
+// own append into the shared backing array; parking one in a struct field
+// outlives the locals the zero-copy contract was scoped to. The analysis
+// is per-function dataflow: variables bound (directly) from a view call
+// are tracked, and writes/appends/retentions through them are flagged.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ViewAliasAnalyzer returns the viewalias analyzer.
+func ViewAliasAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "viewalias",
+		Doc:  "write through, append to, or struct-field retention of a zero-copy view slice",
+	}
+	a.Run = func(pass *Pass) {
+		if len(pass.Index.Views) == 0 {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			enclosingFuncs(pass.Pkg, file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+				checkViewFunc(pass, body)
+			})
+		}
+	}
+	return a
+}
+
+// isViewCall reports whether call invokes a //lint:view function.
+func isViewCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Pkg, call)
+	return fn != nil && pass.Index.Views[fn]
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func checkViewFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: variables assigned from view calls. A multi-value bind marks
+	// every slice-typed name on the left (StringColumn returns codes+nulls).
+	viewVars := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(a.Rhs) == 1 && isViewCall(pass, a.Rhs[0]) {
+			for _, lhs := range a.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && isSliceType(pass.TypeOf(id)) {
+					if obj := pass.ObjectOf(id); obj != nil {
+						viewVars[obj] = true
+					}
+				}
+			}
+			return true
+		}
+		for i, rhs := range a.Rhs {
+			if i < len(a.Lhs) && isViewCall(pass, rhs) {
+				if id, ok := ast.Unparen(a.Lhs[i]).(*ast.Ident); ok && isSliceType(pass.TypeOf(id)) {
+					if obj := pass.ObjectOf(id); obj != nil {
+						viewVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	isViewVar := func(e ast.Expr) (string, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !viewVars[obj] {
+			return "", false
+		}
+		return id.Name, true
+	}
+	// Pass 2: misuse of tracked view variables and of view-call results.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				lhs := ast.Unparen(lhs)
+				var rhs ast.Expr
+				if len(v.Rhs) == len(v.Lhs) {
+					rhs = v.Rhs[i]
+				}
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if name, ok := isViewVar(ix.X); ok {
+						pass.Reportf(lhs.Pos(), "write through view slice %s mutates shared storage behind the owner's back; copy before modifying", name)
+					}
+					// Element retention: parking a view in a container is
+					// the same lifetime hazard as a struct field.
+					if rhs != nil && retainsView(pass, isViewVar, rhs) {
+						pass.Reportf(lhs.Pos(), "view slice retained in element of %s outlives its zero-copy contract; copy it or document ownership with //lint:ignore", types.ExprString(ix.X))
+					}
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && isFieldSelector(pass, sel) {
+					if rhs != nil && retainsView(pass, isViewVar, rhs) {
+						pass.Reportf(lhs.Pos(), "view slice retained in struct field %s outlives its zero-copy contract; copy it or document ownership with //lint:ignore", sel.Sel.Name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(v.X).(*ast.IndexExpr); ok {
+				if name, ok := isViewVar(ix.X); ok {
+					pass.Reportf(v.Pos(), "write through view slice %s mutates shared storage behind the owner's back; copy before modifying", name)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Pkg, v, "append") && len(v.Args) > 0 {
+				if name, ok := isViewVar(v.Args[0]); ok {
+					pass.Reportf(v.Pos(), "append to view slice %s can write into the owner's shared backing array; copy it first", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// retainsView reports whether an assigned value is a tracked view variable
+// or a direct view-call result.
+func retainsView(pass *Pass, isViewVar func(ast.Expr) (string, bool), rhs ast.Expr) bool {
+	if _, ok := isViewVar(rhs); ok {
+		return true
+	}
+	return isViewCall(pass, rhs)
+}
+
+// isFieldSelector reports whether sel names a struct field (not a package
+// member or method).
+func isFieldSelector(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return ok && v.IsField()
+}

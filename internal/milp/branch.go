@@ -15,6 +15,8 @@ import (
 // convenience over SolveContext: callers that share one budget across many
 // models (e.g. parallel partition solving) should pass a context with a
 // deadline instead.
+//
+//lint:ctxroot convenience entry point for context-free callers; anything holding a deadline must call SolveContext
 func Solve(m *Model, opt Options) (*Solution, error) {
 	return SolveContext(context.Background(), m, opt)
 }

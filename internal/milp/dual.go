@@ -102,6 +102,8 @@ func (s *simplex) restore(sn *lpSnapshot) bool {
 // −T[·][j]·delta. A basic j whose value now violates a bound is left for
 // the dual iterations to repair. Reports false when the new domain is
 // empty (the node is trivially infeasible).
+//
+//lint:floatexact exact-zero test on a bound delta decides whether any update work exists at all
 func (s *simplex) applyBound(j int, lo, hi float64) bool {
 	if lo > hi+feasTol {
 		return false

@@ -49,6 +49,8 @@ type luFactors struct {
 // count (singleton logicals factor first) and pivots Markowitz-style:
 // threshold partial pivoting with row-degree tie-breaking. Reports
 // ok=false when the basis is singular to working precision.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func factorizeBasis(a *sparseMatrix, basis []int) (*luFactors, bool) {
 	m := a.m
 	f := &luFactors{
@@ -182,6 +184,8 @@ func factorizeBasis(a *sparseMatrix, basis []int) (*luFactors, bool) {
 // ftran solves B x = b against the factors alone (no etas). b is dense in
 // row space and is consumed; the solution lands in out, indexed by basis
 // position. ord is an m-length scratch.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (f *luFactors) ftran(b, out, ord []float64) {
 	for k := 0; k < f.m; k++ {
 		xk := b[f.pivRow[k]]
@@ -244,6 +248,8 @@ type eta struct {
 }
 
 // applyEtasFtran replays the eta file over a basis-position-space vector.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func applyEtasFtran(etas []eta, x []float64) {
 	for e := range etas {
 		et := &etas[e]

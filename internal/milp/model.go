@@ -141,6 +141,7 @@ func (m *Model) AddConstr(terms []Term, sense ConstrSense, rhs float64, name str
 	m.rows = append(m.rows, rowData{name: name, terms: merged, sense: sense, rhs: rhs})
 }
 
+//lint:floatexact coefficients that cancel to exact 0.0 drop the term; keeping near-zero terms is deliberate
 func mergeTerms(terms []Term) []Term {
 	if len(terms) <= 1 {
 		return append([]Term(nil), terms...)
@@ -258,6 +259,7 @@ type Options struct {
 	NoPresolve bool
 }
 
+//lint:floatexact option sentinel: the float zero value means unset
 func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200000

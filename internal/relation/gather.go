@@ -150,6 +150,8 @@ func (r *Relation) Accessor(j int) func(i int) Value {
 
 // IntColumn exposes column j's typed storage when it is a homogeneous INT
 // column: the raw values plus the null bitmap (bit set = NULL).
+//
+//lint:view
 func (r *Relation) IntColumn(j int) (vals []int64, nulls []uint64, ok bool) {
 	c := r.cols[j]
 	if c.mixed != nil || c.kind != KindInt {
@@ -160,6 +162,8 @@ func (r *Relation) IntColumn(j int) (vals []int64, nulls []uint64, ok bool) {
 
 // FloatColumn exposes column j's typed storage when it is a homogeneous
 // FLOAT column.
+//
+//lint:view
 func (r *Relation) FloatColumn(j int) (vals []float64, nulls []uint64, ok bool) {
 	c := r.cols[j]
 	if c.mixed != nil || c.kind != KindFloat {
@@ -170,6 +174,8 @@ func (r *Relation) FloatColumn(j int) (vals []float64, nulls []uint64, ok bool) 
 
 // StringColumn exposes column j's dictionary codes when it is a homogeneous
 // TEXT column.
+//
+//lint:view
 func (r *Relation) StringColumn(j int) (codes []uint32, nulls []uint64, ok bool) {
 	c := r.cols[j]
 	if c.mixed != nil || c.kind != KindString {
