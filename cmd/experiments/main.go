@@ -11,6 +11,11 @@
 //	milpbench solver baseline: sparse vs dense engines on fixed MILP
 //	          workloads, written to -benchout (BENCH_milp.json) so PRs can
 //	          track the solver's perf trajectory (not part of "all")
+//	servebench explanation-as-a-service baseline: cold one-shot solve vs
+//	          sustained warm request streams against a resident explaind
+//	          server on the Fig 7c workload, written to -servebenchout
+//	          (BENCH_serve.json); fails unless warm p50 beats the cold
+//	          solve by >= 5x (not part of "all")
 //
 // The -scale flag shrinks or grows the sweeps (1 = paper-shaped defaults
 // sized for a laptop; the absolute paper scales need hours).
@@ -30,13 +35,14 @@ import (
 )
 
 var (
-	exp        = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all|milpbench")
-	scale      = flag.Float64("scale", 1, "workload scale multiplier")
-	budget     = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
-	workers    = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
-	benchout   = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
-	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
-	memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
+	exp           = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all|milpbench|servebench")
+	scale         = flag.Float64("scale", 1, "workload scale multiplier")
+	budget        = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
+	workers       = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
+	benchout      = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
+	servebenchout = flag.String("servebenchout", "BENCH_serve.json", "output path for the servebench baseline")
+	cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile    = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 )
 
 func main() {
@@ -92,6 +98,13 @@ func main() {
 	run("fig8a", fig8a)
 	run("fig8b", fig8b)
 	run("fig8c", fig8c)
+	if *exp == "servebench" {
+		fmt.Println("==== servebench ====")
+		if err := servebench(*servebenchout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: servebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *exp == "milpbench" {
 		fmt.Println("==== milpbench ====")
 		if err := milpbench(*benchout); err != nil {

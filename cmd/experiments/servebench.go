@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"explain3d/internal/datagen"
+	"explain3d/internal/serve"
+)
+
+// servebench measures explanation-as-a-service against the one-shot
+// baseline on the Figure 7c workload (IMDb total-gross template): one cold
+// solve, then sustained request streams at several concurrency levels, all
+// answered by a resident server with warm caches. The run fails if the
+// warm p50 is not at least 5x faster than the cold solve — the whole point
+// of keeping datasets and solved results resident — or if any request
+// errors. Measurements go to a JSON file so PRs can track the serving-path
+// trajectory the way BENCH_milp.json tracks the solver's.
+
+// serveBenchScenario is one sustained request stream.
+type serveBenchScenario struct {
+	Scenario    string  `json:"scenario"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+}
+
+// serveBenchReport is the whole benchmark: workload shape, the cold/warm
+// comparison, server counters, and the per-scenario streams.
+type serveBenchReport struct {
+	Movies      int                  `json:"movies"`
+	Rows1       int                  `json:"rows1"`
+	Rows2       int                  `json:"rows2"`
+	Template    string               `json:"template"`
+	ColdMs      float64              `json:"coldSolveMs"`
+	WarmP50Ms   float64              `json:"warmP50Ms"`
+	WarmSpeedup float64              `json:"warmSpeedup"`
+	Scenarios   []serveBenchScenario `json:"scenarios"`
+	Metrics     serve.Metrics        `json:"metrics"`
+}
+
+func servebench(outPath string) error {
+	movies := int(400 * *scale)
+	if movies < 40 {
+		movies = 40
+	}
+	pair, err := datagen.GenerateIMDb(datagen.IMDbSpec{
+		Movies: movies, Persons: 100,
+		StartYear: 2000, EndYear: 2000,
+		Seed: int64(movies),
+	})
+	if err != nil {
+		return err
+	}
+	tpl := datagen.Templates()[4] // Q5 "total-gross", the Fig 7c time-vs-tuples shape
+	q1, q2 := tpl.SQL("2000")
+
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	if err := srv.Register("imdb", pair.DB1, pair.DB2); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload, err := json.Marshal(serve.Request{
+		Dataset: "imdb", Q1: q1, Q2: q2, Matches: tpl.MattrText,
+		BatchSize: 1000, MinSharedTokens: 2, MinProb: 1e-9,
+		Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Cold: the first request pays the full Stage-1 build plus the solve —
+	// exactly what a one-shot Explain invocation pays.
+	coldMs, err := timedRequest(ts.URL, payload)
+	if err != nil {
+		return fmt.Errorf("cold request: %w", err)
+	}
+	fmt.Printf("  workload: %d movies (%d + %d rows), template %q\n",
+		movies, pair.DB1.TotalRows(), pair.DB2.TotalRows(), tpl.Name)
+	fmt.Printf("  cold one-shot solve: %.1f ms\n", coldMs)
+
+	report := serveBenchReport{
+		Movies: movies, Rows1: pair.DB1.TotalRows(), Rows2: pair.DB2.TotalRows(),
+		Template: tpl.Name, ColdMs: coldMs,
+	}
+	warmRequests := int(200 * *scale)
+	if warmRequests < 40 {
+		warmRequests = 40
+	}
+	for _, sc := range []struct {
+		name string
+		conc int
+	}{
+		{"warm-sequential", 1},
+		{"warm-concurrent-8", 8},
+	} {
+		res, err := runServeScenario(ts.URL, payload, sc.name, warmRequests, sc.conc)
+		if err != nil {
+			return err
+		}
+		report.Scenarios = append(report.Scenarios, res)
+		fmt.Printf("  %-18s %5d req @ c=%d: %8.0f req/s  p50=%.3fms  p99=%.3fms\n",
+			res.Scenario, res.Requests, res.Concurrency, res.QPS, res.P50Ms, res.P99Ms)
+	}
+	report.WarmP50Ms = report.Scenarios[0].P50Ms
+	if report.WarmP50Ms > 0 {
+		report.WarmSpeedup = report.ColdMs / report.WarmP50Ms
+	}
+	report.Metrics = srv.Metrics()
+	fmt.Printf("  warm p50 %.3f ms vs cold %.1f ms: %.0fx\n",
+		report.WarmP50Ms, report.ColdMs, report.WarmSpeedup)
+
+	// Perf smoke: serving must beat re-solving by a wide margin, or the
+	// resident state and result cache are not earning their memory.
+	if report.WarmSpeedup < 5 {
+		return fmt.Errorf("warm p50 %.3f ms is only %.1fx faster than the cold solve (%.1f ms); want >= 5x",
+			report.WarmP50Ms, report.WarmSpeedup, report.ColdMs)
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  measurements written to %s\n", outPath)
+	return nil
+}
+
+// timedRequest posts one payload and returns its latency in milliseconds.
+func timedRequest(url string, payload []byte) (float64, error) {
+	start := time.Now()
+	resp, err := http.Post(url+"/explain", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// runServeScenario drives total requests through conc concurrent clients
+// and reports achieved throughput and latency percentiles.
+func runServeScenario(url string, payload []byte, name string, total, conc int) (serveBenchScenario, error) {
+	perClient := total / conc
+	total = perClient * conc
+	latencies := make([][]float64, conc)
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]float64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				ms, err := timedRequest(url, payload)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lat = append(lat, ms)
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return serveBenchScenario{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Float64s(all)
+	return serveBenchScenario{
+		Scenario: name, Requests: total, Concurrency: conc,
+		Seconds: elapsed, QPS: float64(total) / elapsed,
+		P50Ms: percentile(all, 0.50), P99Ms: percentile(all, 0.99),
+	}, nil
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"explain3d"
@@ -48,10 +51,16 @@ func main() {
 		fatal(err)
 	}
 	opts := &explain3d.Options{BatchSize: *batch, SolverTimeout: *timeout, Workers: *workers}
-	res, err := explain3d.Explain(db1, db2, *q1, *q2, string(raw), opts)
+	// SIGINT/SIGTERM cancels the solve: the solver stops at its next
+	// checkpoint and returns the best explanations found so far, reported
+	// below as a partial result rather than dying mid-branch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := explain3d.ExplainContext(ctx, db1, db2, *q1, *q2, string(raw), opts)
 	if err != nil {
 		fatal(err)
 	}
+	interrupted := ctx.Err() != nil
 	fmt.Printf("Q1 = %s\nQ2 = %s\n", res.Result1, res.Result2)
 	if res.Result1 == res.Result2 && len(res.Explanations) == 0 {
 		fmt.Println("The queries agree; nothing to explain.")
@@ -73,7 +82,10 @@ func main() {
 			fmt.Printf("  %q ↔ %q (p=%.2f)\n", p.Tuple1, p.Tuple2, p.Probability)
 		}
 	}
-	if res.TimedOut {
+	switch {
+	case interrupted:
+		fmt.Println("\nnote: interrupted; explanations are the best found before the signal, not proven optimal")
+	case res.TimedOut:
 		fmt.Println("\nnote: solver budget expired; explanations are the best found, not proven optimal")
 	}
 }

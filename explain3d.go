@@ -41,6 +41,7 @@
 package explain3d
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -89,6 +90,11 @@ func (d *Database) LoadCSV(path string) error {
 	d.db.Add(rel)
 	return nil
 }
+
+// Raw exposes the underlying relational database for in-module tooling —
+// cmd/explaind registers it with the serve package, which needs the
+// relation-level form to freeze dictionaries and share Stage-1 prefixes.
+func (d *Database) Raw() *relation.Database { return d.db }
 
 // AddRow appends a row; values may be string, int, int64, float64, bool,
 // or nil for NULL.
@@ -185,7 +191,17 @@ type Result struct {
 // canonicalization, initial tuple mapping, MILP-based optimal explanation
 // derivation, and summarization. The matches argument uses the syntax
 // "attr OP attr" per line with OP in {==, <=, >=} (≡, ⊑, ⊒).
+//
+//lint:ctxroot public entry point without a ctx parameter: compatibility wrapper around ExplainContext
 func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Result, error) {
+	return ExplainContext(context.Background(), db1, db2, sql1, sql2, matches, opts)
+}
+
+// ExplainContext is Explain bounded by a caller context: cancelling ctx —
+// SIGINT in a CLI, a disconnected client in a server — aborts the
+// optimization stage cooperatively and returns the best explanations found
+// so far with Result.TimedOut set, rather than an error.
+func ExplainContext(ctx context.Context, db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Result, error) {
 	q1, err := sqlparse.Parse(sql1)
 	if err != nil {
 		return nil, fmt.Errorf("explain3d: query 1: %w", err)
@@ -201,6 +217,21 @@ func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Re
 	if !mattr.Comparable() {
 		return nil, fmt.Errorf("explain3d: queries are not comparable (no attribute matches)")
 	}
+	res, err := core.ExplainContext(ctx, core.Input{
+		DB1: db1.db, DB2: db2.db, Q1: q1, Q2: q2, Mattr: mattr,
+	}, CoreParams(opts))
+	if err != nil {
+		return nil, err
+	}
+	return ConvertResult(res, opts == nil || !opts.NoSummary), nil
+}
+
+// CoreParams resolves Options (nil means defaults) into the core parameter
+// set, applying the package-level conventions: zero priors mean the paper's
+// 0.9 defaults, SolverTimeout 0 means 60s, negative disables the budget.
+// It is the single source of parameter resolution, shared by Explain and
+// the serving layer so cached and one-shot runs solve identical problems.
+func CoreParams(opts *Options) core.Params {
 	params := core.DefaultParams()
 	params.SolverTimeLimit = 60 * time.Second
 	if opts != nil {
@@ -218,12 +249,13 @@ func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Re
 		}
 		params.Workers = opts.Workers
 	}
-	res, err := core.Explain(core.Input{
-		DB1: db1.db, DB2: db2.db, Q1: q1, Q2: q2, Mattr: mattr,
-	}, params)
-	if err != nil {
-		return nil, err
-	}
+	return params
+}
+
+// ConvertResult renders a finished core result into the public Result
+// shape (withSummary controls Stage 3). It is exported so the serving
+// layer produces responses byte-identical to one-shot Explain output.
+func ConvertResult(res *core.Result, withSummary bool) *Result {
 	out := &Result{
 		Result1:  res.Prov1.Result.String(),
 		Result2:  res.Prov2.Result.String(),
@@ -256,10 +288,10 @@ func Explain(db1, db2 *Database, sql1, sql2, matches string, opts *Options) (*Re
 			Tuple1: res.T1.Keys[ev.L], Tuple2: res.T2.Keys[ev.R], Probability: ev.P,
 		})
 	}
-	if opts == nil || !opts.NoSummary {
+	if withSummary {
 		out.Summary = summarizeResult(res)
 	}
-	return out, nil
+	return out
 }
 
 // summarizeResult runs Stage 3 over both sides' derived explanations.

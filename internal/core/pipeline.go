@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"explain3d/internal/linkage"
@@ -35,6 +35,17 @@ type Input struct {
 	// the initial mapping is split across this many goroutines (0 defaults
 	// to runtime.GOMAXPROCS(0); results are identical at any count).
 	Workers int
+	// Side1 and Side2 optionally supply a side's prebuilt Stage-1 prefix
+	// (provenance + canonical relation); when set, that side's DB/Q fields
+	// are not consulted. A resident server builds each side once per
+	// (database, query, matched attributes) and injects it here.
+	Side1, Side2 *BuiltSide
+	// RightIndex optionally supplies the prebuilt candidate index over
+	// side 2's comparison columns. When set (and Mapping is nil), initial
+	// matching scans side 1 against it instead of building both sides'
+	// token index from scratch; PairOpts must resolve to the options the
+	// index was built with. Output is identical to the one-shot path.
+	RightIndex *PairIndex
 }
 
 // Result is the full framework output.
@@ -52,7 +63,17 @@ type Result struct {
 // Explain runs the 3-stage framework end to end (Stage 3 summarization is
 // exposed separately via the summarize package, as the paper delegates it
 // to existing tools).
+//
+//lint:ctxroot public entry point without a ctx parameter: compatibility wrapper around ExplainContext
 func Explain(in Input, p Params) (*Result, error) {
+	return ExplainContext(context.Background(), in, p)
+}
+
+// ExplainContext is Explain bounded by a caller context: cancelling ctx
+// aborts the Stage-2 solve cooperatively, returning the incumbent
+// explanations with Stats.TimedOut set (the same graceful degradation as
+// an expired solver budget) rather than an error.
+func ExplainContext(ctx context.Context, in Input, p Params) (*Result, error) {
 	if !in.Mattr.Comparable() {
 		return nil, fmt.Errorf("core: queries are not comparable (no attribute matches)")
 	}
@@ -70,7 +91,7 @@ func Explain(in Input, p Params) (*Result, error) {
 		return nil, err
 	}
 	res.Stage1Time = time.Since(stage1)
-	expl, stats, err := SolveInstance(inst, p)
+	expl, stats, err := SolveInstanceContext(ctx, inst, p)
 	if err != nil {
 		return nil, err
 	}
@@ -82,69 +103,16 @@ func Explain(in Input, p Params) (*Result, error) {
 // BuildInstance runs Stage 1: extract provenance, canonicalize, and derive
 // the initial tuple mapping. The two queries' extraction/canonicalization
 // chains are independent and run concurrently (the paper reports Stage 1
-// dominates total runtime).
+// dominates total runtime). It composes the reusable Stage-1 prefix
+// (BuildStage1) with the per-request calibration/filter step
+// (Stage1.Instance); servers cache the prefix and call those directly.
 func BuildInstance(in Input) (*Instance, *Result, error) {
-	type sideResult struct {
-		prov  *query.Provenance
-		canon *Canonical
-		err   error
+	s, err := BuildStage1(in)
+	if err != nil {
+		return nil, nil, err
 	}
-	extractSide := func(q *sqlparse.Select, db *relation.Database, attrs []string, name string) sideResult {
-		p, err := query.Extract(q, db)
-		if err != nil {
-			return sideResult{err: fmt.Errorf("core: provenance of %s: %w", name, err)}
-		}
-		t, err := Canonicalize(p, attrs)
-		if err != nil {
-			return sideResult{err: fmt.Errorf("core: canonicalizing %s: %w", name, err)}
-		}
-		return sideResult{prov: p, canon: t}
-	}
-	var s1, s2 sideResult
-	if in.Workers == 1 {
-		// Honor the documented fully-sequential contract: no goroutines.
-		s1 = extractSide(in.Q1, in.DB1, in.Mattr.LeftAttrs(), "Q1")
-		s2 = extractSide(in.Q2, in.DB2, in.Mattr.RightAttrs(), "Q2")
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s2 = extractSide(in.Q2, in.DB2, in.Mattr.RightAttrs(), "Q2")
-		}()
-		s1 = extractSide(in.Q1, in.DB1, in.Mattr.LeftAttrs(), "Q1")
-		wg.Wait()
-	}
-	if s1.err != nil {
-		return nil, nil, s1.err
-	}
-	if s2.err != nil {
-		return nil, nil, s2.err
-	}
-	p1, t1 := s1.prov, s1.canon
-	p2, t2 := s2.prov, s2.canon
-	matches := in.Mapping
-	if matches == nil {
-		popt := linkage.DefaultPairOptions()
-		if in.PairOpts != nil {
-			popt = *in.PairOpts
-		}
-		if popt.Workers == 0 {
-			popt.Workers = in.Workers
-		}
-		var err error
-		matches, err = InitialMappingWith(t1, t2, in.Mattr, in.Calibrator, popt)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	minP := in.MinProb
-	if minP == 0 {
-		minP = 0.02
-	}
-	matches = FilterMatches(matches, minP)
-	inst := &Instance{T1: t1, T2: t2, Matches: matches, Card: CardinalityOf(in.Mattr)}
-	res := &Result{Prov1: p1, Prov2: p2, T1: t1, T2: t2, Instance: inst}
+	inst := s.Instance(in.Calibrator, in.MinProb)
+	res := &Result{Prov1: s.Prov1, Prov2: s.Prov2, T1: s.T1, T2: s.T2, Instance: inst}
 	return inst, res, nil
 }
 
@@ -159,6 +127,21 @@ func InitialMapping(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Ca
 // InitialMappingWith is InitialMapping with explicit candidate-generation
 // options.
 func InitialMappingWith(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkage.Calibrator, popt linkage.PairOptions) ([]linkage.Match, error) {
+	sims, err := RawSimilarities(t1, t2, mattr, popt)
+	if err != nil {
+		return nil, err
+	}
+	if cal == nil {
+		cal = linkage.NewCalibrator(50) // unfitted: identity mapping
+	}
+	return linkage.Calibrate(sims, cal), nil
+}
+
+// RawSimilarities scores candidate tuple matches between the two canonical
+// relations and returns them uncalibrated (Sim set, P unset) — the
+// cacheable half of the initial mapping: calibration and probability
+// filtering are cheap and parameter-dependent, so they run per request.
+func RawSimilarities(t1, t2 *Canonical, mattr schemamap.Matching, popt linkage.PairOptions) ([]linkage.Match, error) {
 	// One dictionary spans both comparison relations, so the two sides'
 	// token ids live in the same code space and the linkage stage's joint
 	// translation is a cached array lookup.
@@ -175,14 +158,7 @@ func InitialMappingWith(t1, t2 *Canonical, mattr schemamap.Matching, cal *linkag
 	for i := range idx {
 		idx[i] = i
 	}
-	sims, err := linkage.Similarities(v1, v2, idx, idx, popt)
-	if err != nil {
-		return nil, err
-	}
-	if cal == nil {
-		cal = linkage.NewCalibrator(50) // unfitted: identity mapping
-	}
-	return linkage.Calibrate(sims, cal), nil
+	return linkage.Similarities(v1, v2, idx, idx, popt)
 }
 
 // VirtualColumns builds one comparison column per attribute match: the

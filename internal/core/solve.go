@@ -25,8 +25,19 @@ import (
 // identical at any worker count (when solves complete without hitting a
 // budget — budget-limited incumbents are inherently timing-dependent).
 //
-//lint:ctxroot public entry point without a ctx parameter: it owns the shared solver budget and derives the deadline context all workers inherit
+//lint:ctxroot public entry point without a ctx parameter: compatibility wrapper deriving the root solver context
 func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
+	return SolveInstanceContext(context.Background(), inst, p)
+}
+
+// SolveInstanceContext is SolveInstance bounded by a caller context: the
+// solver budget (Params.SolverTimeLimit) derives from ctx, so cancelling it
+// — a server request aborting on client disconnect, a CLI catching SIGINT —
+// stops in-flight sub-problems cooperatively. Cancellation is not an error:
+// each interrupted sub-problem returns its incumbent (or the
+// delete-everything fallback) and Stats.TimedOut is set, exactly like an
+// expired time budget.
+func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Explanations, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
 		return nil, nil, err
@@ -43,7 +54,6 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 	// One context bounds every sub-problem: in-flight workers cancel
 	// cooperatively when the shared budget expires, instead of each
 	// slicing the remaining time independently.
-	ctx := context.Background()
 	var cancel context.CancelFunc
 	if p.SolverTimeLimit > 0 {
 		ctx, cancel = context.WithTimeout(ctx, p.SolverTimeLimit)

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"explain3d/internal/datagen"
+	"explain3d/internal/linkage"
+)
+
+func academicInput(t *testing.T) Input {
+	t.Helper()
+	spec := datagen.AcademicSpec{
+		Name:     "UMass",
+		Matching: 30, MultiDegree: 10, TripleDegree: 3, MultiDegreeWrong: 6,
+		MissingAssoc: 6, MissingOther: 5, AgencyOnly: 4,
+		Renamed: 3, HardRenamed: 2, CorruptCounts: 3,
+		Seed: 7,
+	}
+	pair := datagen.GenerateAcademic(spec)
+	return Input{DB1: pair.DB1, DB2: pair.DB2, Q1: pair.Q1, Q2: pair.Q2, Mattr: pair.Mattr}
+}
+
+// TestPrebuiltStage1Equivalence pins the serving contract: injecting
+// prebuilt sides and a prebuilt right-side candidate index into Input
+// produces an instance — and end-to-end explanations — identical to the
+// one-shot build.
+func TestPrebuiltStage1Equivalence(t *testing.T) {
+	in := academicInput(t)
+	instPlain, resPlain, err := BuildInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := BuildSide(in.Q1, in.DB1, in.Mattr.LeftAttrs(), "Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSide(in.Q2, in.DB2, in.Mattr.RightAttrs(), "Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := BuildPairIndex(s2.Canon, in.Mattr, linkage.DefaultPairOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := in
+	pre.Side1, pre.Side2, pre.RightIndex = s1, s2, pi
+	instPre, resPre, err := BuildInstance(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(instPlain.Matches, instPre.Matches) {
+		t.Fatalf("prebuilt path diverged: %d vs %d matches", len(instPlain.Matches), len(instPre.Matches))
+	}
+	if !reflect.DeepEqual(resPlain.T1.Keys, resPre.T1.Keys) || !reflect.DeepEqual(resPlain.T2.Keys, resPre.T2.Keys) {
+		t.Fatal("canonical keys differ between plain and prebuilt builds")
+	}
+
+	p := DefaultParams()
+	p.BatchSize = 16
+	resA, err := Explain(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Explain(pre, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA.Expl, resB.Expl) {
+		t.Fatal("explanations differ between plain and prebuilt builds")
+	}
+}
+
+// TestStage1InstanceReuse derives instances with different thresholds from
+// one Stage-1 prefix and checks the prefix is not consumed or mutated.
+func TestStage1InstanceReuse(t *testing.T) {
+	in := academicInput(t)
+	s, err := BuildStage1(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLen := len(s.RawMatches)
+	loose := s.Instance(nil, 0.02)
+	tight := s.Instance(nil, 0.5)
+	if len(s.RawMatches) != rawLen {
+		t.Fatal("Instance mutated the Stage-1 prefix")
+	}
+	if len(tight.Matches) > len(loose.Matches) {
+		t.Fatalf("tighter threshold kept more matches: %d > %d", len(tight.Matches), len(loose.Matches))
+	}
+	for _, m := range tight.Matches {
+		if m.P < 0.5 {
+			t.Fatalf("minProb=0.5 instance kept match with P=%v", m.P)
+		}
+	}
+	again := s.Instance(nil, 0.02)
+	if !reflect.DeepEqual(loose.Matches, again.Matches) {
+		t.Fatal("repeated Instance derivation is not deterministic")
+	}
+}
+
+// TestSolveInstanceContextCancelled pins the graceful-abort contract: a
+// cancelled caller context is not an error — the solve returns complete
+// (fallback or incumbent) explanations with TimedOut set.
+func TestSolveInstanceContextCancelled(t *testing.T) {
+	inst := fig1Instance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	expl, stats, err := SolveInstanceContext(ctx, inst, DefaultParams())
+	if err != nil {
+		t.Fatalf("cancelled context must not error: %v", err)
+	}
+	if !stats.TimedOut {
+		t.Fatal("cancelled solve must set Stats.TimedOut")
+	}
+	if expl == nil {
+		t.Fatal("cancelled solve must still return explanations")
+	}
+}
+
+// TestExplainContextCancelled checks the end-to-end context path.
+func TestExplainContextCancelled(t *testing.T) {
+	in := academicInput(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ExplainContext(ctx, in, DefaultParams())
+	if err != nil {
+		t.Fatalf("cancelled context must not error: %v", err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatal("cancelled explain must set Stats.TimedOut")
+	}
+}

@@ -318,6 +318,13 @@ func (t Template) Instantiate(param string) (*sqlparse.Select, *sqlparse.Select,
 	return q1, q2, mattr, nil
 }
 
+// SQL renders the two views' SQL text for a parameter. Instantiate returns
+// the parsed form; the text form is what serving clients and benchmarks
+// send over the wire.
+func (t Template) SQL(param string) (string, string) {
+	return t.sql1(param), t.sql2(param)
+}
+
 // RandomParam draws a parameter for the template.
 func (t Template) RandomParam(rng *rand.Rand, spec IMDbSpec) string {
 	spec = spec.withDefaults()

@@ -2,10 +2,7 @@ package linkage
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
 	"sync"
-	"sync/atomic"
 
 	"explain3d/internal/relation"
 )
@@ -73,258 +70,25 @@ func Similarities(left, right *relation.Relation, leftIdx, rightIdx []int, opt P
 	// re-tokenizes and never hashes a string. The two sides build
 	// concurrently: each owns its dictionary-translation cache, and only
 	// the joint token-id intern is shared (mutex-guarded; match output is
-	// invariant under id relabeling).
-	ts := newTokenSpace()
-	var lTok, rTok [][][]uint32
-	var lCols, rCols []matchCol
+	// invariant under id relabeling). The right side assembles into an
+	// Index (posting lists + stop-word prune) once both sides' tokens are
+	// interned; the scan itself is shared with prebuilt-Index queries.
+	ix := &Index{ts: newTokenSpace(), opt: opt, rightIdx: rightIdx, nRight: right.Len()}
+	var lv *leftView
 	var sides sync.WaitGroup
 	sides.Add(1)
 	go func() {
 		defer sides.Done()
-		rTok = ts.tokenColumns(right, rightIdx)
-		rCols = matchColumns(right, rightIdx)
+		ix.rTok = ix.ts.tokenColumns(right, rightIdx)
+		ix.rCols = matchColumns(right, rightIdx)
 	}()
-	lTok = ts.tokenColumns(left, leftIdx)
 	// Matched-column cells surfaced once as typed row views (null flags +
 	// numeric values straight off the columnar storage) — the numeric
 	// similarity path in the scoring inner loop never boxes a Value.
-	lCols = matchColumns(left, leftIdx)
+	lv = ix.buildLeftView(left, leftIdx)
 	sides.Wait()
-	score := func(i, j int, out []Match) []Match {
-		total := 0.0
-		for k := range leftIdx {
-			lc, rc := &lCols[k], &rCols[k]
-			if lc.null[i] || rc.null[j] {
-				continue // NULL has similarity 0 to everything
-			}
-			switch {
-			case lc.num[i] && rc.num[j]:
-				total += NumericSim(lc.f[i], rc.f[j])
-			case lTok[k] != nil && rTok[k] != nil:
-				total += jaccardSorted(lTok[k][i], rTok[k][j])
-			default:
-				// Asymmetric pair — a numeric-only column matched against
-				// a tokenized one: the generic kind-dispatched similarity.
-				total += ValueSim(lc.value(i), rc.value(j))
-			}
-		}
-		s := total / float64(len(leftIdx))
-		if s >= opt.MinSim && s > 0 {
-			out = append(out, Match{L: i, R: j, Sim: s})
-		}
-		return out
-	}
-	// Blocking applies when any matched column has token lists — the same
-	// whole-column sniff tokenColumns just performed.
-	blocked := false
-	if opt.Block {
-		for k := range lTok {
-			if lTok[k] != nil || rTok[k] != nil {
-				blocked = true
-				break
-			}
-		}
-	}
-	n, nRight := left.Len(), right.Len()
-	// Posting lists shorter than skipFloor are not worth a verify pass:
-	// skipping them saves almost no merge work but still lowers the exact
-	// counting threshold, pushing more candidates into verification.
-	const skipFloor = 4
-	// Inverted index: joint token id → posting list of right row ids, and
-	// per-row blocking token lists (distinct union over the matched
-	// columns). Without blocking (or with numeric-only matching attributes,
-	// where token blocking is meaningless) the full cross product is scored.
-	var post [][]int32
-	var lBlock, rBlock [][]uint32
-	var skipped []bool
-	anySkipped := false
-	if blocked {
-		rBlock = unionRows(rTok, nRight)
-		post = make([][]int32, ts.size())
-		for j, toks := range rBlock {
-			for _, t := range toks {
-				post[t] = append(post[t], int32(j))
-			}
-		}
-		lBlock = unionRows(lTok, n)
-		// Stop-word pruning: a single token cannot satisfy
-		// MinSharedTokens > 1 alone, so up to MinSharedTokens-1 posting
-		// lists — the longest, typically stop-word-frequency tokens that
-		// dominate candidate-merge cost — can be dropped entirely. Every
-		// qualifying pair still shares at least one surviving token, so
-		// candidate discovery stays complete; borderline candidates verify
-		// their exact shared-token count against the full per-row token
-		// lists below.
-		if opt.MinSharedTokens > 1 {
-			skipped = make([]bool, len(post))
-			for s := 0; s < opt.MinSharedTokens-1; s++ {
-				best, bestLen := -1, skipFloor-1
-				for t, p := range post {
-					if !skipped[t] && len(p) > bestLen {
-						best, bestLen = t, len(p)
-					}
-				}
-				if best < 0 {
-					break
-				}
-				skipped[best] = true
-				post[best] = nil
-				anySkipped = true
-			}
-		}
-	}
-	minShared := int32(opt.MinSharedTokens)
-	// scoreRange scans rows [lo, hi) with worker-local candidate state: a
-	// dense shared-token counter indexed by right row id plus the list of
-	// touched rows, reset between rows — no per-row map allocation. rowSkip
-	// holds the positions (within lBlock[i]) of the current row's
-	// prefix-filtered tokens.
-	scoreRange := func(lo, hi int, cnt []int32, touched, rowSkip []int32, out []Match) ([]Match, []int32, []int32) {
-		inRowSkip := func(rowSkip []int32, p int) bool {
-			for _, q := range rowSkip {
-				if int(q) == p {
-					return true
-				}
-			}
-			return false
-		}
-		for i := lo; i < hi; i++ {
-			if !blocked {
-				for j := 0; j < nRight; j++ {
-					out = score(i, j, out)
-				}
-				continue
-			}
-			toks := lBlock[i]
-			// Per-left-row prefix filter: a pair sharing at least minShared
-			// distinct tokens with this row still shares one outside ANY
-			// (minShared−1)-subset of the row's tokens, so each row can skip
-			// merging its own longest minShared−1 posting lists — not just
-			// the globally pruned stop words. Globally skipped tokens the
-			// row carries count against the same budget (their postings are
-			// gone for every row); the remaining budget goes to the longest
-			// surviving lists, which dominate this row's merge cost.
-			skippedHere := 0
-			rowSkip = rowSkip[:0]
-			if minShared > 1 {
-				budget := int(minShared) - 1
-				if anySkipped {
-					for _, tok := range toks {
-						if skipped[tok] {
-							budget--
-							skippedHere++
-						}
-					}
-				}
-				if disableRowPrefixFilter {
-					budget = 0
-				}
-				for b := 0; b < budget; b++ {
-					best, bestLen := -1, skipFloor-1
-					for p, tok := range toks {
-						if len(post[tok]) > bestLen && !inRowSkip(rowSkip, p) {
-							best, bestLen = p, len(post[tok])
-						}
-					}
-					if best < 0 {
-						break
-					}
-					rowSkip = append(rowSkip, int32(best))
-					skippedHere++
-				}
-			}
-			touched = touched[:0]
-			for p, tok := range toks {
-				if len(rowSkip) > 0 && inRowSkip(rowSkip, p) {
-					continue
-				}
-				for _, j := range post[tok] {
-					if cnt[j] == 0 {
-						touched = append(touched, j)
-					}
-					cnt[j]++
-				}
-			}
-			// With skipped posting lists the counter undercounts by at most
-			// the number of skipped tokens this row carries; candidates in
-			// the uncertain band prove their real shared count by merging
-			// the two full token lists.
-			thresh := minShared - int32(skippedHere)
-			if thresh < 1 {
-				thresh = 1
-			}
-			// Ascending right-row order keeps output identical to the
-			// sequential pairwise scan.
-			sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
-			for _, j := range touched {
-				if cnt[j] >= thresh &&
-					(cnt[j] >= minShared || sharedAtLeast(lBlock[i], rBlock[j], int(minShared))) {
-					out = score(i, int(j), out)
-				}
-				cnt[j] = 0
-			}
-		}
-		return out, touched, rowSkip
-	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		var out []Match
-		out, _, _ = scoreRange(0, n, make([]int32, nRight), make([]int32, 0, 64), make([]int32, 0, 4), out)
-		return out, nil
-	}
-	// Contiguous row-range chunks scored in parallel: each chunk's matches
-	// come out in the same (i, j) order the sequential scan produces, so
-	// concatenating chunks in range order reproduces it exactly. The
-	// shared token lists and inverted index are read-only here. Chunks
-	// are much smaller than n/workers and pulled from a shared counter so
-	// candidate-count skew (dense rows clustered together) cannot
-	// serialize the scan on one worker.
-	chunk := n / (workers * 8)
-	if chunk < 1 {
-		chunk = 1
-	}
-	nChunks := (n + chunk - 1) / chunk
-	blocks := make([][]Match, nChunks)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cnt := make([]int32, nRight)
-			touched := make([]int32, 0, 64)
-			rowSkip := make([]int32, 0, 4)
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= nChunks {
-					return
-				}
-				lo, hi := c*chunk, (c+1)*chunk
-				if hi > n {
-					hi = n
-				}
-				var out []Match
-				out, touched, rowSkip = scoreRange(lo, hi, cnt, touched, rowSkip, out)
-				blocks[c] = out
-			}
-		}()
-	}
-	wg.Wait()
-	total := 0
-	for _, b := range blocks {
-		total += len(b)
-	}
-	out := make([]Match, 0, total)
-	for _, b := range blocks {
-		out = append(out, b...)
-	}
-	return out, nil
+	ix.finalize()
+	return ix.scan(lv, opt.Workers), nil
 }
 
 // matchCol is one matched column's typed row view for the scoring loop:

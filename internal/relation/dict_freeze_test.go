@@ -1,0 +1,136 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFreezeReadsMatchUnfrozen pins that a frozen dictionary answers every
+// read exactly as it did before the freeze, and that post-freeze interning
+// still works (the snapshot only covers the frozen prefix).
+func TestFreezeReadsMatchUnfrozen(t *testing.T) {
+	d := NewDict()
+	words := []string{"Computer Science", "fine arts", "cs and math", "", "2.5", "north campus"}
+	codes := make([]uint32, len(words))
+	for i, w := range words {
+		codes[i] = d.Intern(w)
+	}
+	v := d.ParseValue("42")
+	type snap struct {
+		strs [][]string
+		toks [][]uint32
+	}
+	capture := func() snap {
+		var s snap
+		for _, c := range codes {
+			s.toks = append(s.toks, append([]uint32(nil), d.Tokens(c)...))
+		}
+		return s
+	}
+	before := capture()
+	d.Freeze()
+	if !d.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	after := capture()
+	for i := range codes {
+		if fmt.Sprint(before.toks[i]) != fmt.Sprint(after.toks[i]) {
+			t.Fatalf("Tokens(%q) changed across Freeze: %v vs %v", words[i], before.toks[i], after.toks[i])
+		}
+		if got := d.String(codes[i]); got != words[i] {
+			t.Fatalf("String(%d) = %q, want %q", codes[i], got, words[i])
+		}
+		if id, ok := d.Lookup(words[i]); !ok || id != codes[i] {
+			t.Fatalf("Lookup(%q) = %d,%v, want %d,true", words[i], id, ok, codes[i])
+		}
+		if got := d.Intern(words[i]); got != codes[i] {
+			t.Fatalf("Intern(%q) = %d after freeze, want %d", words[i], got, codes[i])
+		}
+	}
+	if got := d.ParseValue("42"); got != v {
+		t.Fatalf("ParseValue(42) = %v after freeze, want %v", got, v)
+	}
+
+	// Post-freeze growth: new strings intern via the mutex path and stay
+	// fully readable alongside the frozen prefix.
+	nc := d.Intern("brand new entry")
+	if int(nc) < len(words) {
+		t.Fatalf("post-freeze intern reused a frozen code: %d", nc)
+	}
+	if got := d.String(nc); got != "brand new entry" {
+		t.Fatalf("String(new) = %q", got)
+	}
+	if toks := d.Tokens(nc); len(toks) != 3 {
+		t.Fatalf("Tokens(new) = %v, want 3 tokens", toks)
+	}
+	if _, ok := d.Lookup("brand new entry"); !ok {
+		t.Fatal("Lookup of post-freeze string failed")
+	}
+	if got := d.ParseValue("7.25"); got.Kind() != KindFloat {
+		t.Fatalf("post-freeze ParseValue kind = %v", got.Kind())
+	}
+}
+
+// TestFreezePrecomputesTokens pins the lock-free guarantee behind Freeze:
+// every code interned before the freeze — including codes whose Tokens were
+// never requested — has its token list inside the snapshot.
+func TestFreezePrecomputesTokens(t *testing.T) {
+	d := NewDict()
+	c := d.Intern("alpha beta gamma")
+	d.Freeze()
+	f := d.fz.Load()
+	if f == nil {
+		t.Fatal("no snapshot published")
+	}
+	if int(c) >= len(f.toks) || f.toks[c] == nil {
+		t.Fatalf("token list of %d not precomputed in snapshot", c)
+	}
+	// The tokens themselves were interned by the freeze pass and are part of
+	// the snapshot too (their own token lists point back at themselves).
+	for _, tok := range f.toks[c] {
+		if int(tok) >= len(f.toks) || f.toks[tok] == nil {
+			t.Fatalf("token code %d escaped the freeze pass", tok)
+		}
+	}
+}
+
+// TestFreezeConcurrentReadersAndWriters exercises the snapshot fast path
+// while other goroutines keep interning fresh strings — the serving
+// pattern: frozen dataset dictionaries still absorb query-time interning.
+// Run under -race.
+func TestFreezeConcurrentReadersAndWriters(t *testing.T) {
+	d := NewDict()
+	var codes []uint32
+	for i := 0; i < 200; i++ {
+		codes = append(codes, d.Intern(fmt.Sprintf("token soup number %d", i)))
+	}
+	d.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c := codes[i%len(codes)]
+				if got := d.String(c); got == "" {
+					t.Errorf("empty String(%d)", c)
+					return
+				}
+				if toks := d.Tokens(c); len(toks) == 0 {
+					t.Errorf("empty Tokens(%d)", c)
+					return
+				}
+				d.Intern(fmt.Sprintf("writer %d round %d", w, i))
+				d.ParseValue(fmt.Sprintf("%d.5", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A second freeze extends the lock-free prefix over the new entries.
+	n := d.Len()
+	d.Freeze()
+	if got := len(d.fz.Load().strs); got < n {
+		t.Fatalf("re-freeze snapshot covers %d strings, want ≥ %d", got, n)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress solve shared by every request that asked the
+// same canonical question concurrently. The result fields are written once
+// by the runner before done is closed; waiters read them only after the
+// close, so the channel provides the ordering.
+type flight struct {
+	done chan struct{}
+	// body/status/errMsg are written by the runner before close(done).
+	body   []byte
+	status int
+	errMsg string
+	cancel context.CancelFunc
+	// waiters counts requests attached to this flight. guarded by flightGroup.mu
+	waiters int
+	// abandoned marks that every waiter disconnected: the runner's context
+	// was cancelled and its (partial) result must not be cached. guarded by flightGroup.mu
+	abandoned bool
+}
+
+// flightGroup deduplicates concurrent identical requests: the first request
+// for a key starts the solve, later ones attach to it, and when the last
+// attached request disconnects the solve's context is cancelled.
+type flightGroup struct {
+	mu sync.Mutex
+	// guarded by mu
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	//lint:ignore guarded constructor: the fresh group is not shared until returned
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join attaches to the flight for key, creating it when absent. started
+// reports that the caller created the flight and must run it; the flight's
+// solve context derives from base so it outlives any single request.
+func (g *flightGroup) join(key string, base context.Context) (f *flight, ctx context.Context, started bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		return f, nil, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.flights[key] = f
+	return f, ctx, true
+}
+
+// leave detaches a disconnected request. When the last waiter leaves an
+// unfinished flight, the solve is cancelled, the flight is marked abandoned
+// (its partial result must not be cached), and the key is freed so a later
+// request starts fresh.
+func (g *flightGroup) leave(key string, f *flight) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.waiters--
+	if f.waiters > 0 {
+		return
+	}
+	select {
+	case <-f.done:
+		// Already finished; finish() removed it.
+	default:
+		f.abandoned = true
+		f.cancel()
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+	}
+}
+
+// wasAbandoned reports whether every waiter already disconnected. A true
+// result means the solve ran (at least partly) under a cancelled context,
+// so its possibly-partial output must not be cached.
+func (g *flightGroup) wasAbandoned(f *flight) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return f.abandoned
+}
+
+// finish publishes the runner's result and releases the key. The runner
+// caches the body before calling finish, so by the time waiters wake up a
+// repeat request is already a cache hit.
+func (g *flightGroup) finish(key string, f *flight, body []byte, status int, errMsg string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f.body, f.status, f.errMsg = body, status, errMsg
+	close(f.done)
+	f.cancel() // release the context's resources
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+}

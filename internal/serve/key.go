@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+)
+
+// canonicalQuery parses SQL and re-renders it from the AST, so textual
+// variants of the same query — whitespace, keyword case, redundant
+// parentheses — share one canonical form and therefore one cache key.
+func canonicalQuery(sql string) (string, *sqlparse.Select, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	return q.String(), q, nil
+}
+
+// canonicalMatches parses an attribute-match spec and re-renders each match
+// in the canonical "attrs OP attrs" syntax, one per line.
+func canonicalMatches(text string) (string, schemamap.Matching, error) {
+	m, err := schemamap.ParseAll(text)
+	if err != nil {
+		return "", nil, err
+	}
+	return matchingText(m), m, nil
+}
+
+// matchingText renders a matching in canonical parseable syntax.
+func matchingText(m schemamap.Matching) string {
+	parts := make([]string, len(m))
+	for i, am := range m {
+		parts[i] = am.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// cacheKey renders the canonicalized request tuple. Every field that can
+// change the response participates: the dataset pair, both canonical
+// queries, the canonical matches, and all solver/mapping parameters.
+// Workers is included because budget-limited solves return
+// timing-dependent incumbents that vary with parallelism.
+func cacheKey(dataset, q1c, q2c, mc string, rq *Request) string {
+	return fmt.Sprintf("ds=%s\x1fq1=%s\x1fq2=%s\x1fm=%s\x1fa=%g\x1fb=%g\x1fbatch=%d\x1fto=%d\x1fw=%d\x1fmst=%d\x1fminp=%g\x1fsum=%t",
+		dataset, q1c, q2c, mc,
+		rq.Alpha, rq.Beta, rq.BatchSize, rq.TimeoutMS, rq.Workers,
+		rq.MinSharedTokens, rq.MinProb, rq.NoSummary)
+}

@@ -1,0 +1,442 @@
+// Package serve implements explanation-as-a-service: a resident HTTP/JSON
+// server that loads dataset pairs once into shared immutable state and
+// answers explanation requests concurrently.
+//
+// The paper frames explanation as an interactive debugging loop — users
+// iterate on query pairs over the same datasets — so the server is built
+// around reuse across requests:
+//
+//   - datasets are registered once; their dictionaries are frozen
+//     (relation.Dict.Freeze) so concurrent readers take the lock-free path;
+//   - each side's Stage-1 prefix (provenance + canonicalization) and the
+//     right side's candidate index (core.PairIndex) are built once per
+//     canonical (query, matches) and shared;
+//   - finished responses are cached in an LRU keyed on the canonicalized
+//     (dataset-pair, query-pair, matches, params) tuple;
+//   - concurrent identical requests share one solve (single-flight), and a
+//     solve whose every client disconnected is cancelled through the
+//     request-context machinery (core.ExplainContext → milp.SolveContext).
+//
+// Response bodies are byte-identical to one-shot Explain output for the
+// same inputs; cache disposition and timing travel in headers
+// (X-Explaind-Cache, X-Explaind-Elapsed-Ms), never in the body.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	explain3d "explain3d"
+	"explain3d/internal/core"
+	"explain3d/internal/linkage"
+	"explain3d/internal/relation"
+	"explain3d/internal/schemamap"
+	"explain3d/internal/sqlparse"
+)
+
+// Request is the POST /explain body. Zero-valued fields mean the library
+// defaults (Options zero-value conventions), so a minimal request is just
+// the dataset name, the two queries, and the attribute matches.
+type Request struct {
+	Dataset string `json:"dataset"`
+	Q1      string `json:"q1"`
+	Q2      string `json:"q2"`
+	Matches string `json:"matches"`
+	// Alpha/Beta are the coverage/correctness priors (0 = 0.9 default).
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	// BatchSize > 0 enables smart partitioning with that sub-problem bound.
+	BatchSize int `json:"batch_size,omitempty"`
+	// TimeoutMS bounds the solver (0 = 60s default, negative = unlimited).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers is the per-request parallelism budget (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// MinSharedTokens raises the blocking threshold of the initial mapping.
+	MinSharedTokens int `json:"min_shared_tokens,omitempty"`
+	// MinProb drops initial matches below this probability (0 = 0.02).
+	MinProb float64 `json:"min_prob,omitempty"`
+	// NoSummary disables Stage-3 pattern summaries.
+	NoSummary bool `json:"no_summary,omitempty"`
+}
+
+// Options tunes the server.
+type Options struct {
+	// CacheSize bounds the result cache (entries; default 128).
+	CacheSize int
+	// MaxWorkers caps the per-request Workers budget (0 = uncapped).
+	MaxWorkers int
+}
+
+// Metrics is a point-in-time snapshot of the server's counters.
+type Metrics struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	FlightJoins  int64 `json:"flight_joins"`
+	Solves       int64 `json:"solves"`
+	SideBuilds   int64 `json:"side_builds"`
+	IndexBuilds  int64 `json:"index_builds"`
+	Cancelled    int64 `json:"cancelled"`
+	Errors       int64 `json:"errors"`
+	CachedBodies int64 `json:"cached_bodies"`
+	Datasets     int64 `json:"datasets"`
+}
+
+// sideEntry / indexEntry build a cached prefix exactly once; concurrent
+// requests for the same key share the build through the sync.Once.
+type sideEntry struct {
+	once sync.Once
+	side *core.BuiltSide
+	err  error
+}
+
+type indexEntry struct {
+	once sync.Once
+	ix   *core.PairIndex
+	err  error
+}
+
+// Dataset is one registered dataset pair plus its per-(query, matches)
+// Stage-1 prefix caches. The databases are shared immutable state: their
+// dictionaries are frozen at registration and relations are append-only
+// and never appended to again.
+type Dataset struct {
+	Name     string
+	DB1, DB2 *relation.Database
+
+	mu sync.Mutex
+	// guarded by mu
+	sides map[string]*sideEntry
+	// guarded by mu
+	indexes map[string]*indexEntry
+}
+
+func (d *Dataset) side(key string, build func() (*core.BuiltSide, error)) (*core.BuiltSide, error) {
+	d.mu.Lock()
+	e, ok := d.sides[key]
+	if !ok {
+		e = &sideEntry{}
+		d.sides[key] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() { e.side, e.err = build() })
+	return e.side, e.err
+}
+
+func (d *Dataset) index(key string, build func() (*core.PairIndex, error)) (*core.PairIndex, error) {
+	d.mu.Lock()
+	e, ok := d.indexes[key]
+	if !ok {
+		e = &indexEntry{}
+		d.indexes[key] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() { e.ix, e.err = build() })
+	return e.ix, e.err
+}
+
+// Server answers explanation requests over registered dataset pairs.
+type Server struct {
+	opts Options
+
+	mu sync.RWMutex
+	// guarded by mu
+	datasets map[string]*Dataset
+
+	cache   *resultCache
+	flights *flightGroup
+
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	requests, cacheHits, flightJoins, solves     atomic.Int64
+	sideBuilds, indexBuilds, cancelled, errCount atomic.Int64
+
+	// SolveHook, when set, runs at the start of every actual solve (after
+	// single-flight deduplication). Tests use it to hold solves open while
+	// concurrent requests pile onto the flight.
+	SolveHook func()
+}
+
+// New creates a server.
+//
+//lint:ctxroot the server owns the base context its solve flights derive from; Close cancels it
+func New(opts Options) *Server {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 128
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts: opts,
+		//lint:ignore guarded constructor: the fresh server is not shared until returned
+		datasets:   make(map[string]*Dataset),
+		cache:      newResultCache(opts.CacheSize),
+		flights:    newFlightGroup(),
+		base:       ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Close cancels every in-flight solve. The server must not be used after.
+func (s *Server) Close() { s.baseCancel() }
+
+// Register adds a dataset pair under a name, freezing both databases'
+// dictionaries so concurrent request handling reads them lock-free. The
+// caller must not mutate the databases afterwards.
+func (s *Server) Register(name string, db1, db2 *relation.Database) error {
+	if name == "" {
+		return fmt.Errorf("serve: dataset name must be non-empty")
+	}
+	db1.FreezeDicts()
+	db2.FreezeDicts()
+	ds := &Dataset{
+		Name: name, DB1: db1, DB2: db2,
+		sides:   make(map[string]*sideEntry),
+		indexes: make(map[string]*indexEntry),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		return fmt.Errorf("serve: dataset %q already registered", name)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// Dataset looks a registered dataset up by name.
+func (s *Server) Dataset(name string) (*Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[name]
+	return ds, ok
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	return Metrics{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		FlightJoins:  s.flightJoins.Load(),
+		Solves:       s.solves.Load(),
+		SideBuilds:   s.sideBuilds.Load(),
+		IndexBuilds:  s.indexBuilds.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Errors:       s.errCount.Load(),
+		CachedBodies: int64(s.cache.len()),
+		Datasets:     int64(n),
+	}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Write(body)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type dsInfo struct {
+		Name  string `json:"name"`
+		Rows1 int    `json:"rows1"`
+		Rows2 int    `json:"rows2"`
+	}
+	s.mu.RLock()
+	out := make([]dsInfo, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		out = append(out, dsInfo{Name: ds.Name, Rows1: ds.DB1.TotalRows(), Rows2: ds.DB2.TotalRows()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Metrics())
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.requests.Add(1)
+	start := time.Now()
+	var rq Request
+	if err := json.NewDecoder(r.Body).Decode(&rq); err != nil {
+		s.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	ds, ok := s.Dataset(rq.Dataset)
+	if !ok {
+		s.errCount.Add(1)
+		httpError(w, http.StatusNotFound, "unknown dataset %q", rq.Dataset)
+		return
+	}
+	q1c, q1, err := canonicalQuery(rq.Q1)
+	if err != nil {
+		s.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "query 1: %v", err)
+		return
+	}
+	q2c, q2, err := canonicalQuery(rq.Q2)
+	if err != nil {
+		s.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "query 2: %v", err)
+		return
+	}
+	mc, mattr, err := canonicalMatches(rq.Matches)
+	if err != nil {
+		s.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "attribute matches: %v", err)
+		return
+	}
+	if !mattr.Comparable() {
+		s.errCount.Add(1)
+		httpError(w, http.StatusBadRequest, "queries are not comparable (no attribute matches)")
+		return
+	}
+	if s.opts.MaxWorkers > 0 && (rq.Workers <= 0 || rq.Workers > s.opts.MaxWorkers) {
+		rq.Workers = s.opts.MaxWorkers
+	}
+	key := cacheKey(ds.Name, q1c, q2c, mc, &rq)
+
+	if body, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		writeResult(w, body, "hit", start)
+		return
+	}
+
+	f, fctx, started := s.flights.join(key, s.base)
+	disposition := "miss"
+	if started {
+		go s.runFlight(fctx, key, f, ds, &rq, q1, q2, mattr)
+	} else {
+		s.flightJoins.Add(1)
+		disposition = "flight"
+	}
+	select {
+	case <-f.done:
+		if f.errMsg != "" {
+			s.errCount.Add(1)
+			httpError(w, f.status, "%s", f.errMsg)
+			return
+		}
+		writeResult(w, f.body, disposition, start)
+	case <-r.Context().Done():
+		// Client gone: detach; the last detachment cancels the solve.
+		s.cancelled.Add(1)
+		s.flights.leave(key, f)
+	}
+}
+
+// runFlight executes one deduplicated solve and publishes its result. The
+// body enters the cache before the flight completes, so a request issued
+// after any response to this flight is a cache hit, never a second solve.
+func (s *Server) runFlight(ctx context.Context, key string, f *flight, ds *Dataset, rq *Request, q1, q2 *sqlparse.Select, mattr schemamap.Matching) {
+	// A prior flight may have finished between this request's cache miss
+	// and its flight registration; re-check before paying for a solve.
+	if body, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		s.flights.finish(key, f, body, http.StatusOK, "")
+		return
+	}
+	if s.SolveHook != nil {
+		s.SolveHook()
+	}
+	s.solves.Add(1)
+	body, status, errMsg := s.solve(ctx, ds, rq, q1, q2, mattr)
+	// An abandoned flight ran under a cancelled context: its output may be
+	// a partial incumbent, which must not be served to future requests. A
+	// completed solve whose last waiter left after it finished is whole
+	// and safe to cache.
+	if errMsg == "" && !s.flights.wasAbandoned(f) {
+		s.cache.put(key, body)
+	}
+	s.flights.finish(key, f, body, status, errMsg)
+}
+
+// solve runs the explanation with the dataset's cached Stage-1 prefixes.
+func (s *Server) solve(ctx context.Context, ds *Dataset, rq *Request, q1, q2 *sqlparse.Select, mattr schemamap.Matching) (body []byte, status int, errMsg string) {
+	popt := linkage.DefaultPairOptions()
+	if rq.MinSharedTokens > 0 {
+		popt.MinSharedTokens = rq.MinSharedTokens
+	}
+	// The canonical query text and matches identify each side's prefix; the
+	// parsed forms round-trip through String(), so q1.String() is q1c.
+	q1c, q2c, mc := q1.String(), q2.String(), matchingText(mattr)
+	side1, err := ds.side("L\x1f"+q1c+"\x1f"+mc, func() (*core.BuiltSide, error) {
+		s.sideBuilds.Add(1)
+		return core.BuildSide(q1, ds.DB1, mattr.LeftAttrs(), "Q1")
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+	side2, err := ds.side("R\x1f"+q2c+"\x1f"+mc, func() (*core.BuiltSide, error) {
+		s.sideBuilds.Add(1)
+		return core.BuildSide(q2, ds.DB2, mattr.RightAttrs(), "Q2")
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+	ixKey := fmt.Sprintf("%s\x1f%s\x1f%g|%t|%d", q2c, mc, popt.MinSim, popt.Block, popt.MinSharedTokens)
+	pi, err := ds.index(ixKey, func() (*core.PairIndex, error) {
+		s.indexBuilds.Add(1)
+		return core.BuildPairIndex(side2.Canon, mattr, popt)
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+	params := explain3d.CoreParams(&explain3d.Options{
+		Alpha: rq.Alpha, Beta: rq.Beta, BatchSize: rq.BatchSize,
+		SolverTimeout: time.Duration(rq.TimeoutMS) * time.Millisecond,
+		NoSummary:     rq.NoSummary, Workers: rq.Workers,
+	})
+	res, err := core.ExplainContext(ctx, core.Input{
+		DB1: ds.DB1, DB2: ds.DB2, Q1: q1, Q2: q2, Mattr: mattr,
+		MinProb: rq.MinProb, PairOpts: &popt,
+		Side1: side1, Side2: side2, RightIndex: pi,
+	}, params)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error()
+	}
+	out := explain3d.ConvertResult(res, !rq.NoSummary)
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err.Error()
+	}
+	return b, http.StatusOK, ""
+}
+
+// writeResult writes a finished body with cache/timing metadata in headers,
+// keeping the body byte-identical to one-shot output.
+func writeResult(w http.ResponseWriter, body []byte, disposition string, start time.Time) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Explaind-Cache", disposition)
+	w.Header().Set("X-Explaind-Elapsed-Ms", fmt.Sprintf("%.3f", float64(time.Since(start).Microseconds())/1000))
+	w.Write(body)
+}

@@ -1,0 +1,88 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"explain3d/internal/serve"
+)
+
+// TestServerStressMixed hammers the server with a concurrent mix of cache
+// hits, misses across distinct parameterizations, and client-side
+// cancellations, under -race, and checks every successful response is
+// byte-identical to a fresh one-shot Explain of the same request.
+func TestServerStressMixed(t *testing.T) {
+	_, ts, pair := newTestServer(t, serve.Options{CacheSize: 2})
+
+	variants := []serve.Request{
+		baseRequest(pair),
+		func() serve.Request { rq := baseRequest(pair); rq.Alpha = 0.95; return rq }(),
+		func() serve.Request { rq := baseRequest(pair); rq.MinProb = 0.5; rq.Workers = 2; return rq }(),
+	}
+	want := make([][]byte, len(variants))
+	for i, rq := range variants {
+		want[i] = oneShot(t, rq)
+	}
+
+	const perVariant = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(variants)*perVariant)
+	bad := make(chan string, len(variants)*perVariant)
+	for i, rq := range variants {
+		for j := 0; j < perVariant; j++ {
+			wg.Add(1)
+			go func(i int, rq serve.Request) {
+				defer wg.Done()
+				payload, _ := json.Marshal(rq)
+				resp, err := http.Post(ts.URL+"/explain", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					bad <- string(body)
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					bad <- "variant body differs from one-shot Explain"
+				}
+			}(i, rq)
+		}
+	}
+	// Interleave client-side cancellations: pre-cancelled contexts whose
+	// requests abort somewhere between dial and response read.
+	for j := 0; j < 3; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			payload, _ := json.Marshal(variants[0])
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/explain", bytes.NewReader(payload))
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(bad)
+	for err := range errs {
+		t.Error(err)
+	}
+	for msg := range bad {
+		t.Error(msg)
+	}
+}
