@@ -16,6 +16,12 @@
 //	          server on the Fig 7c workload, written to -servebenchout
 //	          (BENCH_serve.json); fails unless warm p50 beats the cold
 //	          solve by >= 5x (not part of "all")
+//	shardbench sharded Stage-1 baseline on the million-row scenario (at
+//	          -scale 1): wall time and peak heap across shard counts,
+//	          written to -shardbenchout (BENCH_shard.json); fails if matches
+//	          diverge across shard counts, if peak heap exceeds
+//	          -shardheapbudget, or — on >= 4 CPUs — if 8 shards are not
+//	          >= 2x faster than the sequential baseline (not part of "all")
 //
 // The -scale flag shrinks or grows the sweeps (1 = paper-shaped defaults
 // sized for a laptop; the absolute paper scales need hours).
@@ -27,6 +33,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"slices"
+	"strings"
 	"time"
 
 	"explain3d/internal/core"
@@ -35,18 +43,32 @@ import (
 )
 
 var (
-	exp           = flag.String("exp", "all", "experiment: fig4|fig6|fig7|fig8a|fig8b|fig8c|all|milpbench|servebench")
-	scale         = flag.Float64("scale", 1, "workload scale multiplier")
-	budget        = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
-	workers       = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
-	benchout      = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
-	servebenchout = flag.String("servebenchout", "BENCH_serve.json", "output path for the servebench baseline")
-	cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
-	memprofile    = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
+	exp             = flag.String("exp", "all", "experiment: "+strings.Join(validExperiments, "|"))
+	scale           = flag.Float64("scale", 1, "workload scale multiplier")
+	budget          = flag.Duration("budget", 120*time.Second, "per-solve budget before DNF")
+	workers         = flag.Int("workers", 0, "parallel solve workers (0 = GOMAXPROCS, 1 = sequential)")
+	benchout        = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
+	servebenchout   = flag.String("servebenchout", "BENCH_serve.json", "output path for the servebench baseline")
+	shardbenchout   = flag.String("shardbenchout", "BENCH_shard.json", "output path for the shardbench baseline")
+	shardheapbudget = flag.Float64("shardheapbudget", 4096, "shardbench peak-heap budget in MiB (0 = unlimited)")
+	cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile      = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
 )
+
+// validExperiments is the closed set -exp accepts; anything else is a
+// spelling mistake the run must refuse instead of silently doing nothing.
+var validExperiments = []string{
+	"fig4", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "all",
+	"milpbench", "servebench", "shardbench",
+}
 
 func main() {
 	flag.Parse()
+	if !slices.Contains(validExperiments, *exp) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(validExperiments, ", "))
+		os.Exit(2)
+	}
 	// Profiling the experiment driver is the supported way to see where
 	// Stage 1 / Stage 2 time goes on paper-shaped workloads:
 	//
@@ -109,6 +131,13 @@ func main() {
 		fmt.Println("==== milpbench ====")
 		if err := milpbench(*benchout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: milpbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "shardbench" {
+		fmt.Println("==== shardbench ====")
+		if err := shardbench(*shardbenchout, *shardheapbudget); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: shardbench: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -12,7 +12,8 @@
 //	POST /explain   {"dataset": "nces", "q1": "...", "q2": "...",
 //	                 "matches": "Major.Major <= Stats.Program", ...}
 //	GET  /datasets  registered pairs and their row counts
-//	GET  /stats     request/cache/solve counters
+//	GET  /stats     request/solve counters, cache hit/miss/eviction
+//	                counts, and single-flight joins
 //	GET  /healthz   liveness
 //
 // Repeat and textually-equivalent requests are answered from a result

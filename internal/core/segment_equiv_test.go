@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"explain3d/internal/datagen"
+	"explain3d/internal/relation"
+)
+
+// segmentEquivSpec is a scaled-down academic pair: large enough that tiny
+// segment sizes produce many segments (and, with a small GroupSpan, many
+// admission groups), small enough that the grid of full solves stays fast.
+func segmentEquivSpec() datagen.AcademicSpec {
+	return datagen.AcademicSpec{
+		Name:     "UMass",
+		Matching: 20, MultiDegree: 6, TripleDegree: 2, MultiDegreeWrong: 4,
+		MissingAssoc: 4, MissingOther: 3, AgencyOnly: 3,
+		Renamed: 2, HardRenamed: 1, CorruptCounts: 2,
+		Seed: 11,
+	}
+}
+
+func explainAt(t *testing.T, spec datagen.AcademicSpec, p Params) *Result {
+	t.Helper()
+	// Relations capture the segment size when they are built, so the pair is
+	// regenerated (deterministically, by seed) under each size under test.
+	pair := datagen.GenerateAcademic(spec)
+	res, err := Explain(Input{
+		DB1: pair.DB1, DB2: pair.DB2,
+		Q1: pair.Q1, Q2: pair.Q2,
+		Mattr: pair.Mattr,
+	}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSegmentSizeSolveEquivalence is the tentpole acceptance property: the
+// full pipeline — provenance, canonicalization, Stage-1 linkage, Stage-2
+// MILP — must produce byte-identical explanations whatever segment size the
+// relations are chunked at and however many workers solve sub-problems,
+// including the pathological one-row segments and ragged boundaries.
+func TestSegmentSizeSolveEquivalence(t *testing.T) {
+	orig := relation.SegmentSize()
+	defer relation.SetSegmentSize(orig)
+	spec := segmentEquivSpec()
+	p := DefaultParams()
+	p.BatchSize = 16
+
+	relation.SetSegmentSize(orig)
+	base := explainAt(t, spec, p).Expl
+	for _, segRows := range []int{1, 7, 64, 4096} {
+		relation.SetSegmentSize(segRows)
+		for _, workers := range []int{0, 1, 8} {
+			pw := p
+			pw.Workers = workers
+			res := explainAt(t, spec, pw)
+			if !reflect.DeepEqual(res.Expl, base) {
+				t.Fatalf("segRows=%d workers=%d: explanations diverged from the default layout",
+					segRows, workers)
+			}
+		}
+	}
+}
+
+// TestResidentGroupBudgetEquivalence pins the admission budget: bounding the
+// number of resident segment-locality groups reorders and throttles the
+// solve schedule but must never change the explanations, at any budget,
+// group span, or worker count.
+func TestResidentGroupBudgetEquivalence(t *testing.T) {
+	spec := segmentEquivSpec()
+	p := DefaultParams()
+	p.BatchSize = 16
+	base := explainAt(t, spec, p)
+	if base.Stats.Groups != 0 {
+		t.Fatalf("admission disabled but Stats.Groups = %d", base.Stats.Groups)
+	}
+	for _, k := range []int{1, 2, 8} {
+		for _, span := range []int{0, 4, 64} {
+			for _, workers := range []int{1, 4} {
+				pg := p
+				pg.MaxResidentGroups, pg.GroupSpan, pg.Workers = k, span, workers
+				res := explainAt(t, spec, pg)
+				if res.Stats.Groups < 1 {
+					t.Fatalf("K=%d span=%d workers=%d: Stats.Groups = %d, want >= 1",
+						k, span, workers, res.Stats.Groups)
+				}
+				if !reflect.DeepEqual(res.Expl, base.Expl) {
+					t.Fatalf("K=%d span=%d workers=%d: explanations diverged from unbounded admission",
+						k, span, workers)
+				}
+			}
+		}
+	}
+}

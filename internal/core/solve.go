@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,7 +140,11 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 	if workers > len(subs) {
 		workers = len(subs)
 	}
-	if workers <= 1 {
+	if p.MaxResidentGroups > 0 {
+		groups := groupBySegment(inst, subs, p.GroupSpan)
+		stats.Groups = len(groups)
+		solveGrouped(groups, workers, p.MaxResidentGroups, solveSub, &failed)
+	} else if workers <= 1 {
 		for si := range subs {
 			solveSub(si)
 			if failed.Load() {
@@ -263,6 +268,114 @@ func buildSubProblems(inst *Instance, parts [][]int) []*subProblem {
 		subs[pl].matches = append(subs[pl].matches, m)
 	}
 	return subs
+}
+
+// groupBySegment orders sub-problems into segment-locality groups: a sub-
+// problem's key is the storage segment its smallest canonical tuple id
+// falls in (left tuples first; right-only sub-problems key on the right id
+// offset past the left relation). Groups come out in ascending segment
+// order, so admission walks the canonical relations front to back and
+// co-resident sub-problems read neighboring segments. Grouping only
+// schedules — fragments are still merged by sub-problem index — so output
+// is identical at any span or budget.
+func groupBySegment(inst *Instance, subs []*subProblem, span int) [][]int {
+	if span <= 0 {
+		span = inst.T1.Rel.SegmentSpan()
+	}
+	nLeft := inst.T1.Len()
+	keyOf := func(sub *subProblem) int {
+		if len(sub.left) > 0 {
+			min := sub.left[0]
+			for _, id := range sub.left {
+				if id < min {
+					min = id
+				}
+			}
+			return min / span
+		}
+		if len(sub.right) > 0 {
+			min := sub.right[0]
+			for _, id := range sub.right {
+				if id < min {
+					min = id
+				}
+			}
+			return (nLeft + min) / span
+		}
+		return 0
+	}
+	byKey := make(map[int][]int)
+	keys := make([]int, 0)
+	for si, sub := range subs {
+		k := keyOf(sub)
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], si)
+	}
+	sort.Ints(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// solveGrouped runs the worker pool under the admission budget: a group's
+// sub-problems enter the work queue only after acquiring one of maxResident
+// group slots, and the group's last retired sub-problem frees the slot — at
+// most maxResident segment groups are queued or in flight at once.
+func solveGrouped(groups [][]int, workers, maxResident int, solveSub func(int), failed *atomic.Bool) {
+	if workers <= 1 {
+		// One sub-problem in flight: the admission bound holds trivially;
+		// group order still walks the segments front to back.
+		for _, g := range groups {
+			for _, si := range g {
+				solveSub(si)
+				if failed.Load() {
+					return
+				}
+			}
+		}
+		return
+	}
+	type task struct{ si, gi int }
+	remaining := make([]atomic.Int32, len(groups))
+	for gi, g := range groups {
+		remaining[gi].Store(int32(len(g)))
+	}
+	sem := make(chan struct{}, maxResident)
+	work := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				solveSub(t.si)
+				if remaining[t.gi].Add(-1) == 0 {
+					<-sem // group fully retired: free its admission slot
+				}
+			}
+		}()
+	}
+	// On failure feeding just stops: slots held by partially-fed groups are
+	// never reacquired, so the held semaphore entries cannot block anything.
+feed:
+	for gi, g := range groups {
+		if failed.Load() {
+			break
+		}
+		sem <- struct{}{}
+		for _, si := range g {
+			if failed.Load() {
+				break feed
+			}
+			work <- task{si: si, gi: gi}
+		}
+	}
+	close(work)
+	wg.Wait()
 }
 
 // FilterMatches drops matches below a probability floor; stage 1 applies

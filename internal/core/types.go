@@ -128,6 +128,19 @@ type Params struct {
 	// the exception is solves that exhaust SolverTimeLimit, whose
 	// incumbents are timing-dependent with or without parallelism.
 	Workers int
+	// MaxResidentGroups bounds Stage-2 peak memory by admission: sub-
+	// problems are grouped by segment locality — the storage segment of the
+	// canonical relations (see relation.SegmentSpan) that their smallest
+	// tuple id falls in — and at most MaxResidentGroups groups may have
+	// sub-problems queued or in flight at once. Encoded MILPs and solver
+	// state of at most that many segment groups are resident together; the
+	// worker pool is unchanged, and explanations are identical at any
+	// budget. 0 disables admission (every sub-problem is eligible at once).
+	MaxResidentGroups int
+	// GroupSpan overrides the locality group's row span (default: the
+	// canonical left relation's storage segment length). Only meaningful
+	// with MaxResidentGroups > 0.
+	GroupSpan int
 }
 
 // DefaultParams returns the parameters used throughout the evaluation:
@@ -165,6 +178,12 @@ func (p Params) validate() error {
 	}
 	if p.Workers < 0 {
 		return fmt.Errorf("core: Workers must be ≥ 0, got %d", p.Workers)
+	}
+	if p.MaxResidentGroups < 0 {
+		return fmt.Errorf("core: MaxResidentGroups must be ≥ 0, got %d", p.MaxResidentGroups)
+	}
+	if p.GroupSpan < 0 {
+		return fmt.Errorf("core: GroupSpan must be ≥ 0, got %d", p.GroupSpan)
 	}
 	return nil
 }
@@ -204,6 +223,9 @@ type Stats struct {
 	SolveTime time.Duration
 	// Partitions is the number of sub-problems solved.
 	Partitions int
+	// Groups is the number of segment-locality groups the sub-problems were
+	// admitted in (0 when Params.MaxResidentGroups left admission disabled).
+	Groups int
 	// MILPVars and MILPRows total over all sub-problems.
 	MILPVars, MILPRows int
 	// Nodes totals branch-and-bound nodes.

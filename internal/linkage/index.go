@@ -34,7 +34,12 @@ type Index struct {
 	post     [][]int32
 	skipped  []bool
 	anySkip  bool
+	shards   int     // > 1: sharded posting lists and scan (see scanSharded)
+	tokShard []uint8 // token id → owning shard, from the token string's hash
 }
+
+// maxShards bounds PairOptions.Shards so shard ids fit the per-token uint8.
+const maxShards = 256
 
 // Posting lists shorter than skipFloor are not worth a verify pass:
 // skipping them saves almost no merge work but still lowers the exact
@@ -69,9 +74,35 @@ func (ix *Index) finalize() {
 	}
 	ix.rBlock = unionRows(ix.rTok, ix.nRight)
 	ix.post = make([][]int32, ix.ts.size())
-	for j, toks := range ix.rBlock {
-		for _, t := range toks {
-			ix.post[t] = append(ix.post[t], int32(j))
+	if s := ix.opt.Shards; s > 1 {
+		if s > maxShards {
+			s = maxShards
+		}
+		ix.shards = s
+		ix.tokShard = ix.ts.shardMap(s)
+		// Shard-parallel posting build: each shard goroutine appends only to
+		// the lists of its own tokens, so writes to ix.post are disjoint.
+		// Right-row order within each list matches the sequential build.
+		var wg sync.WaitGroup
+		for sh := 0; sh < s; sh++ {
+			wg.Add(1)
+			go func(sh uint8) {
+				defer wg.Done()
+				for j, toks := range ix.rBlock {
+					for _, t := range toks {
+						if ix.tokShard[t] == sh {
+							ix.post[t] = append(ix.post[t], int32(j))
+						}
+					}
+				}
+			}(uint8(sh))
+		}
+		wg.Wait()
+	} else {
+		for j, toks := range ix.rBlock {
+			for _, t := range toks {
+				ix.post[t] = append(ix.post[t], int32(j))
+			}
 		}
 	}
 	// Stop-word pruning: a single token cannot satisfy MinSharedTokens > 1
@@ -145,11 +176,11 @@ func (ix *Index) Similarities(left *relation.Relation, leftIdx []int, workers in
 	return ix.scan(ix.buildLeftView(left, leftIdx), workers), nil
 }
 
-// scan runs candidate generation and scoring of one left view against the
-// index. It is the shared back half of Similarities and Index.Similarities.
-func (ix *Index) scan(lv *leftView, workers int) []Match {
+// scorer binds one left view's and the index's typed match columns into the
+// pair-scoring closure shared by the unsharded and sharded scan paths.
+func (ix *Index) scorer(lv *leftView) func(i, j int, out []Match) []Match {
 	opt := ix.opt
-	score := func(i, j int, out []Match) []Match {
+	return func(i, j int, out []Match) []Match {
 		total := 0.0
 		for k := range lv.cols {
 			lc, rc := &lv.cols[k], &ix.rCols[k]
@@ -173,20 +204,35 @@ func (ix *Index) scan(lv *leftView, workers int) []Match {
 		}
 		return out
 	}
-	// Blocking applies when any matched column has token lists on either
-	// side — the same whole-column sniff tokenColumns performed.
-	blocked := false
-	if opt.Block {
-		for k := range lv.tok {
-			if lv.tok[k] != nil || ix.rTok[k] != nil {
-				blocked = true
-				break
-			}
+}
+
+// blockedScan reports whether token blocking applies to this left view:
+// some matched column has token lists on either side — the same
+// whole-column sniff tokenColumns performed.
+func (ix *Index) blockedScan(lv *leftView) bool {
+	if !ix.opt.Block {
+		return false
+	}
+	for k := range lv.tok {
+		if lv.tok[k] != nil || ix.rTok[k] != nil {
+			return true
 		}
 	}
+	return false
+}
+
+// scan runs candidate generation and scoring of one left view against the
+// index. It is the shared back half of Similarities and Index.Similarities.
+func (ix *Index) scan(lv *leftView, workers int) []Match {
+	opt := ix.opt
+	score := ix.scorer(lv)
+	blocked := ix.blockedScan(lv)
 	n, nRight := lv.n, ix.nRight
 	if blocked {
 		lv.block = unionRows(lv.tok, n)
+		if ix.shards > 1 {
+			return ix.scanSharded(lv, workers)
+		}
 	}
 	minShared := int32(opt.MinSharedTokens)
 	// scoreRange scans rows [lo, hi) with worker-local candidate state: a

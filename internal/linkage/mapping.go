@@ -33,6 +33,13 @@ type PairOptions struct {
 	// scored concurrently (0 defaults to runtime.GOMAXPROCS(0)). The
 	// returned matches are identical at any worker count.
 	Workers int
+	// Shards splits the inverted token index into token-hash shards
+	// (0 or 1 = one unsharded index). Each shard builds its posting lists
+	// and scans its candidate pairs independently — posting construction and
+	// the candidate scan parallelize across shards — and per-left-row
+	// shared-token counts merge deterministically, so matches are identical
+	// at any shard count. Values above 256 are clamped.
+	Shards int
 }
 
 // DefaultPairOptions enables blocking with the default similarity floor.
@@ -121,34 +128,49 @@ func matchColumns(r *relation.Relation, idx []int) []matchCol {
 	for k, c := range idx {
 		n := r.Len()
 		mc := matchCol{null: make([]bool, n), rel: r, col: c}
-		if ints, nulls, ok := r.IntColumn(c); ok {
+		if segs, nullSegs, ok := r.IntSegments(c); ok {
 			mc.num = make([]bool, n)
 			mc.f = make([]float64, n)
-			for i := range ints {
-				if relation.NullAt(nulls, i) {
-					mc.null[i] = true
-					continue
+			base := 0
+			for s, ints := range segs {
+				nulls := nullSegs[s]
+				for i := range ints {
+					if relation.NullAt(nulls, i) {
+						mc.null[base+i] = true
+						continue
+					}
+					mc.num[base+i] = true
+					mc.f[base+i] = float64(ints[i])
 				}
-				mc.num[i] = true
-				mc.f[i] = float64(ints[i])
+				base += len(ints)
 			}
-		} else if floats, nulls, ok := r.FloatColumn(c); ok {
+		} else if segs, nullSegs, ok := r.FloatSegments(c); ok {
 			mc.num = make([]bool, n)
 			mc.f = make([]float64, n)
-			for i := range floats {
-				if relation.NullAt(nulls, i) {
-					mc.null[i] = true
-					continue
+			base := 0
+			for s, floats := range segs {
+				nulls := nullSegs[s]
+				for i := range floats {
+					if relation.NullAt(nulls, i) {
+						mc.null[base+i] = true
+						continue
+					}
+					mc.num[base+i] = true
+					mc.f[base+i] = floats[i]
 				}
-				mc.num[i] = true
-				mc.f[i] = floats[i]
+				base += len(floats)
 			}
-		} else if _, nulls, ok := r.StringColumn(c); ok {
+		} else if segs, nullSegs, ok := r.StringSegments(c); ok {
 			// No cell is numeric, so num stays all-false and f (only read
 			// under num) can stay nil.
 			mc.num = make([]bool, n)
-			for i := 0; i < n; i++ {
-				mc.null[i] = relation.NullAt(nulls, i)
+			base := 0
+			for s, codes := range segs {
+				nulls := nullSegs[s]
+				for i := range codes {
+					mc.null[base+i] = relation.NullAt(nulls, i)
+				}
+				base += len(codes)
 			}
 		} else {
 			vals := make([]relation.Value, n)

@@ -22,6 +22,35 @@ type tokenSpace struct {
 	mu  sync.Mutex
 	ids map[string]uint32 // guarded by mu
 	n   uint32            // guarded by mu
+	// hashes[id] is the tokenHash of the token string behind id.
+	hashes []uint32 // guarded by mu
+}
+
+// tokenHash is FNV-1a over the token string. Shard assignment keys on this
+// hash — not on the joint id, which depends on goroutine interleaving — so
+// a token lands in the same shard no matter how interning was interleaved,
+// keeping sharded output deterministic.
+func tokenHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// shardMap snapshots every interned token's shard assignment:
+// shardMap(S)[id] = tokenHash(token) mod S. Tokens interned after the
+// snapshot (left-side tokens of a later query against a prebuilt Index)
+// have no posting lists, so their missing entries never matter.
+func (ts *tokenSpace) shardMap(shards int) []uint8 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]uint8, len(ts.hashes))
+	for i, h := range ts.hashes {
+		out[i] = uint8(h % uint32(shards))
+	}
+	return out
 }
 
 // dictCache holds per-dictionary translation state. Each side of a linkage
@@ -53,6 +82,7 @@ func (ts *tokenSpace) intern(s string) uint32 {
 	id := ts.n
 	ts.ids[s] = id
 	ts.n++
+	ts.hashes = append(ts.hashes, tokenHash(s))
 	return id
 }
 

@@ -43,10 +43,46 @@ func retainElement(xs [][]int64) {
 	xs[0] = view() // want `view slice retained in element of xs outlives its zero-copy contract`
 }
 
+var segStore = [][]int64{{1, 2}, {3, 4}}
+
+// segView returns the per-segment backing arrays, the shape of the typed
+// segment views (IntSegments/FloatSegments/StringSegments).
+//
+//lint:view
+func segView() [][]int64 { return segStore }
+
+func writeNested() {
+	segs := segView()
+	segs[0][1] = 9 // want `write through view slice segs mutates shared storage`
+}
+
+func incNested() {
+	segs := segView()
+	segs[1][0]++ // want `write through view slice segs mutates shared storage`
+}
+
+func writeSegmentDirectory() {
+	segs := segView()
+	segs[0] = []int64{9} // want `write through view slice segs mutates shared storage`
+}
+
+func appendNested() []int64 {
+	segs := segView()
+	return append(segs[0], 4) // want `append to view slice segs can write into the owner's shared backing array`
+}
+
 func copied() []int64 {
 	v := view()
 	out := make([]int64, len(v))
 	copy(out, v)
+	out[0] = 9
+	return out
+}
+
+func copiedSegment() []int64 {
+	segs := segView()
+	out := make([]int64, len(segs[0]))
+	copy(out, segs[0])
 	out[0] = 9
 	return out
 }

@@ -1,14 +1,16 @@
 package lint
 
 // viewalias: slices obtained from //lint:view-annotated functions — the
-// dictionary's Strings snapshot, the typed column views
-// (IntColumn/FloatColumn/StringColumn), selection vectors handed to Gather
-// — alias live internal storage. Writing through one corrupts the relation
-// behind every other reader's back; appending to one can race the owner's
-// own append into the shared backing array; parking one in a struct field
-// outlives the locals the zero-copy contract was scoped to. The analysis
-// is per-function dataflow: variables bound (directly) from a view call
-// are tracked, and writes/appends/retentions through them are flagged.
+// dictionary's Strings snapshot, the typed segment views
+// (IntSegments/FloatSegments/StringSegments), selection vectors handed to
+// Gather — alias live internal storage. Writing through one corrupts the
+// relation behind every other reader's back; appending to one can race the
+// owner's own append into the shared backing array; parking one in a struct
+// field outlives the locals the zero-copy contract was scoped to. The
+// analysis is per-function dataflow: variables bound (directly) from a view
+// call are tracked, and writes/appends/retentions through them are flagged.
+// Writes are traced through nested indexing, so segs[s][o] = v on a
+// per-segment [][]T view is caught the same as v[i] = x on a flat one.
 
 import (
 	"go/ast"
@@ -93,6 +95,19 @@ func checkViewFunc(pass *Pass, body *ast.BlockStmt) {
 		}
 		return id.Name, true
 	}
+	// viewBaseVar unwraps nested index expressions to their base variable:
+	// a multi-segment view is a [][]T, so the hazardous write lands two
+	// levels deep (segs[s][o] = v) but still aliases the tracked view.
+	viewBaseVar := func(e ast.Expr) (string, bool) {
+		for {
+			e = ast.Unparen(e)
+			ix, ok := e.(*ast.IndexExpr)
+			if !ok {
+				return isViewVar(e)
+			}
+			e = ix.X
+		}
+	}
 	// Pass 2: misuse of tracked view variables and of view-call results.
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
@@ -104,7 +119,7 @@ func checkViewFunc(pass *Pass, body *ast.BlockStmt) {
 					rhs = v.Rhs[i]
 				}
 				if ix, ok := lhs.(*ast.IndexExpr); ok {
-					if name, ok := isViewVar(ix.X); ok {
+					if name, ok := viewBaseVar(ix.X); ok {
 						pass.Reportf(lhs.Pos(), "write through view slice %s mutates shared storage behind the owner's back; copy before modifying", name)
 					}
 					// Element retention: parking a view in a container is
@@ -121,13 +136,13 @@ func checkViewFunc(pass *Pass, body *ast.BlockStmt) {
 			}
 		case *ast.IncDecStmt:
 			if ix, ok := ast.Unparen(v.X).(*ast.IndexExpr); ok {
-				if name, ok := isViewVar(ix.X); ok {
+				if name, ok := viewBaseVar(ix.X); ok {
 					pass.Reportf(v.Pos(), "write through view slice %s mutates shared storage behind the owner's back; copy before modifying", name)
 				}
 			}
 		case *ast.CallExpr:
 			if isBuiltin(pass.Pkg, v, "append") && len(v.Args) > 0 {
-				if name, ok := isViewVar(v.Args[0]); ok {
+				if name, ok := viewBaseVar(v.Args[0]); ok {
 					pass.Reportf(v.Pos(), "append to view slice %s can write into the owner's shared backing array; copy it first", name)
 				}
 			}

@@ -342,24 +342,26 @@ func (ev *evaluator) compileCmpFast(x *sqlparse.BinaryExpr, r *relation.Relation
 			f = litV.(float64)
 		}
 		// Numeric columns compare through float64 exactly like Value.Compare.
-		if ints, nulls, ok := r.IntColumn(j); ok {
+		if ic, ok := bindIntCol(r, j); ok {
 			return func(i int) (bool, error) {
-				if relation.NullAt(nulls, i) {
+				v, null := ic.at(i)
+				if null {
 					return false, nil
 				}
-				return cmpFloat(op, float64(ints[i]), f), nil
+				return cmpFloat(op, float64(v), f), nil
 			}, true, nil
 		}
-		if floats, nulls, ok := r.FloatColumn(j); ok {
+		if fc, ok := bindFloatCol(r, j); ok {
 			return func(i int) (bool, error) {
-				if relation.NullAt(nulls, i) {
+				v, null := fc.at(i)
+				if null {
 					return false, nil
 				}
-				return cmpFloat(op, floats[i], f), nil
+				return cmpFloat(op, v, f), nil
 			}, true, nil
 		}
 	case string:
-		codes, nulls, ok := r.StringColumn(j)
+		sc, ok := bindStrCol(r, j)
 		if !ok {
 			return nil, false, nil
 		}
@@ -370,18 +372,20 @@ func (ev *evaluator) compileCmpFast(x *sqlparse.BinaryExpr, r *relation.Relation
 			code, present := r.Dict().Lookup(litV)
 			neq := op == "<>"
 			return func(i int) (bool, error) {
-				if relation.NullAt(nulls, i) {
+				c, null := sc.at(i)
+				if null {
 					return false, nil
 				}
-				return (present && codes[i] == code) != neq, nil
+				return (present && c == code) != neq, nil
 			}, true, nil
 		default:
 			strs := r.Dict().Strings()
 			return func(i int) (bool, error) {
-				if relation.NullAt(nulls, i) {
+				c, null := sc.at(i)
+				if null {
 					return false, nil
 				}
-				return cmpOK(op, strings.Compare(strs[codes[i]], litV)), nil
+				return cmpOK(op, strings.Compare(strs[c], litV)), nil
 			}, true, nil
 		}
 	}
@@ -418,14 +422,14 @@ func (ev *evaluator) compileLike(x *sqlparse.LikeExpr, r *relation.Relation) (pr
 	negate := x.Negate
 	if ref, ok := x.Expr.(*sqlparse.ColumnRef); ok {
 		if j, err := r.Schema.Index(ref.String()); err == nil {
-			if codes, nulls, ok := r.StringColumn(j); ok {
+			if sc, ok := bindStrCol(r, j); ok {
 				strs := r.Dict().Strings()
 				memo := make([]uint8, len(strs)) // 0 unknown, 1 match, 2 no match
 				return func(i int) (bool, error) {
-					if relation.NullAt(nulls, i) {
+					code, null := sc.at(i)
+					if null {
 						return false, nil
 					}
-					code := codes[i]
 					m := memo[code]
 					if m == 0 {
 						if re.MatchString(strs[code]) {

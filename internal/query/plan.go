@@ -624,24 +624,30 @@ func accumulateTyped(st *aggState, src *relation.Relation, j int) bool {
 	default:
 		return false // MIN/MAX keep the generic Value path (kind fidelity)
 	}
-	if ints, nulls, ok := src.IntColumn(j); ok {
-		for i := range ints {
-			if relation.NullAt(nulls, i) {
-				continue
+	if segs, nullSegs, ok := src.IntSegments(j); ok {
+		for s, ints := range segs {
+			nulls := nullSegs[s]
+			for i := range ints {
+				if relation.NullAt(nulls, i) {
+					continue
+				}
+				st.count++
+				st.sum += float64(ints[i])
 			}
-			st.count++
-			st.sum += float64(ints[i])
 		}
 		return true
 	}
-	if floats, nulls, ok := src.FloatColumn(j); ok {
-		for i := range floats {
-			if relation.NullAt(nulls, i) {
-				continue
+	if segs, nullSegs, ok := src.FloatSegments(j); ok {
+		for s, floats := range segs {
+			nulls := nullSegs[s]
+			for i := range floats {
+				if relation.NullAt(nulls, i) {
+					continue
+				}
+				st.count++
+				st.sum += floats[i]
+				st.isInt = false
 			}
-			st.count++
-			st.sum += floats[i]
-			st.isInt = false
 		}
 		return true
 	}
@@ -762,11 +768,13 @@ type groupAgg struct {
 	fn   sqlparse.AggFunc
 	mode groupAggMode
 
-	// typed source binding (aggIntCol/aggFloatCol/aggCountCol)
-	ints  []int64
-	flts  []float64
-	nulls []uint64
-	sfn   scalarFn // aggGeneric
+	// typed source binding (aggIntCol/aggFloatCol/aggCountCol); the
+	// cursors hold zero-copy segment views scoped to one Execute call —
+	// they die with the groupAgg before src can change.
+	ic  intCol
+	fc  floatCol
+	sc  strCol
+	sfn scalarFn // aggGeneric
 
 	counts  []int64
 	sums    []float64
@@ -787,20 +795,17 @@ func newGroupAgg(ev *evaluator, it *sqlparse.SelectItem, src *relation.Relation)
 		switch it.Agg {
 		case sqlparse.AggCount, sqlparse.AggSum, sqlparse.AggAvg:
 			if j, err := src.Schema.Index(ref.String()); err == nil {
-				if ints, nulls, ok := src.IntColumn(j); ok {
-					//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
-					a.mode, a.ints, a.nulls = aggIntCol, ints, nulls
+				if ic, ok := bindIntCol(src, j); ok {
+					a.mode, a.ic = aggIntCol, ic
 					return a, nil
 				}
-				if flts, nulls, ok := src.FloatColumn(j); ok {
-					//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
-					a.mode, a.flts, a.nulls = aggFloatCol, flts, nulls
+				if fc, ok := bindFloatCol(src, j); ok {
+					a.mode, a.fc = aggFloatCol, fc
 					return a, nil
 				}
 				if it.Agg == sqlparse.AggCount {
-					if _, nulls, ok := src.StringColumn(j); ok {
-						//lint:ignore viewalias read-only accumulator scoped to one Execute call: the views die with the groupAgg before src can change
-						a.mode, a.nulls = aggCountCol, nulls
+					if sc, ok := bindStrCol(src, j); ok {
+						a.mode, a.sc = aggCountCol, sc
 						return a, nil
 					}
 				}
@@ -836,26 +841,28 @@ func (a *groupAgg) add(gi int32, r int) error {
 		}
 		return a.addValue(gi, relation.Int(1))
 	case aggIntCol:
-		if relation.NullAt(a.nulls, r) {
+		v, null := a.ic.at(r)
+		if null {
 			return nil
 		}
 		a.counts[gi]++
 		if a.fn != sqlparse.AggCount {
-			a.sums[gi] += float64(a.ints[r])
+			a.sums[gi] += float64(v)
 		}
 		return nil
 	case aggFloatCol:
-		if relation.NullAt(a.nulls, r) {
+		v, null := a.fc.at(r)
+		if null {
 			return nil
 		}
 		a.counts[gi]++
 		if a.fn != sqlparse.AggCount {
-			a.sums[gi] += a.flts[r]
+			a.sums[gi] += v
 			a.nonInts[gi] = true
 		}
 		return nil
 	case aggCountCol:
-		if !relation.NullAt(a.nulls, r) {
+		if _, null := a.sc.at(r); !null {
 			a.counts[gi]++
 		}
 		return nil

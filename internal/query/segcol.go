@@ -1,0 +1,105 @@
+package query
+
+import "explain3d/internal/relation"
+
+// Segment cursors for compiled predicates and typed aggregates. Relation
+// columns are stored as fixed-size segments (relation.IntSegments and
+// friends); these cursors bind the zero-copy segment views once per
+// compilation and serve random row access, with a direct path for columns
+// that fit one segment. The views alias live column storage, so a cursor
+// follows the same contract as the raw views: it must not outlive the
+// Execute call that bound it, and nothing may append to the source relation
+// while it is live.
+
+// intCol reads a homogeneous INT column by row position.
+type intCol struct {
+	segs   [][]int64
+	nulls  [][]uint64
+	segLen int
+	single bool
+}
+
+func bindIntCol(r *relation.Relation, j int) (intCol, bool) {
+	segs, nulls, ok := r.IntSegments(j)
+	if !ok {
+		return intCol{}, false
+	}
+	return intCol{segs: segs, nulls: nulls, segLen: r.SegmentLen(j), single: len(segs) == 1}, true
+}
+
+// at returns the cell at row i and whether it is NULL.
+func (c *intCol) at(i int) (int64, bool) {
+	if c.single {
+		if relation.NullAt(c.nulls[0], i) {
+			return 0, true
+		}
+		return c.segs[0][i], false
+	}
+	s, off := i/c.segLen, i%c.segLen
+	if relation.NullAt(c.nulls[s], off) {
+		return 0, true
+	}
+	return c.segs[s][off], false
+}
+
+// floatCol reads a homogeneous FLOAT column by row position.
+type floatCol struct {
+	segs   [][]float64
+	nulls  [][]uint64
+	segLen int
+	single bool
+}
+
+func bindFloatCol(r *relation.Relation, j int) (floatCol, bool) {
+	segs, nulls, ok := r.FloatSegments(j)
+	if !ok {
+		return floatCol{}, false
+	}
+	return floatCol{segs: segs, nulls: nulls, segLen: r.SegmentLen(j), single: len(segs) == 1}, true
+}
+
+// at returns the cell at row i and whether it is NULL.
+func (c *floatCol) at(i int) (float64, bool) {
+	if c.single {
+		if relation.NullAt(c.nulls[0], i) {
+			return 0, true
+		}
+		return c.segs[0][i], false
+	}
+	s, off := i/c.segLen, i%c.segLen
+	if relation.NullAt(c.nulls[s], off) {
+		return 0, true
+	}
+	return c.segs[s][off], false
+}
+
+// strCol reads a homogeneous TEXT column's dictionary codes by row position.
+type strCol struct {
+	segs   [][]uint32
+	nulls  [][]uint64
+	segLen int
+	single bool
+}
+
+func bindStrCol(r *relation.Relation, j int) (strCol, bool) {
+	segs, nulls, ok := r.StringSegments(j)
+	if !ok {
+		return strCol{}, false
+	}
+	return strCol{segs: segs, nulls: nulls, segLen: r.SegmentLen(j), single: len(segs) == 1}, true
+}
+
+// at returns the code at row i and whether the cell is NULL.
+func (c *strCol) at(i int) (uint32, bool) {
+	if c.single {
+		if relation.NullAt(c.nulls[0], i) {
+			return 0, true
+		}
+		return c.segs[0][i], false
+	}
+	s, off := i/c.segLen, i%c.segLen
+	if relation.NullAt(c.nulls[s], off) {
+		return 0, true
+	}
+	return c.segs[s][off], false
+}

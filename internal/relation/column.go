@@ -1,24 +1,30 @@
 package relation
 
-// column stores one attribute of a relation columnar-ly: a typed array
-// ([]int64, []float64, []bool, or dictionary codes for strings) plus a null
-// bitmap. A column whose cells disagree on kind falls back to a boxed
-// []Value representation — heterogeneous columns are legal (CSV import
-// infers kinds per cell) but rare, and the fallback keeps exact per-cell
-// kind fidelity so query semantics are unchanged.
+// column stores one attribute of a relation columnar-ly, chunked into
+// fixed-size segments: each segment holds a typed array ([]int64,
+// []float64, []bool, or dictionary codes for strings) plus a segment-local
+// null bitmap, and the segs directory replaces the single flat array.
+// Appending fills the last segment and never reallocates storage spanning
+// the whole column, so build-time peak memory is bounded by one segment. A
+// column whose cells disagree on kind falls back to a boxed []Value
+// representation — heterogeneous columns are legal (CSV import infers kinds
+// per cell) but rare, and the fallback keeps exact per-cell kind fidelity
+// so query semantics are unchanged.
 type column struct {
-	kind   Kind     // physical kind of the typed array; KindNull while every cell is NULL
-	nulls  []uint64 // null bitmap, bit set = NULL
-	ints   []int64
-	floats []float64
-	bools  []bool
-	codes  []uint32 // dict codes for KindString
-	mixed  []Value  // non-nil: heterogeneous fallback, the source of truth
+	kind   Kind      // physical kind of the typed arrays; KindNull while every cell is NULL
+	segLen int       // rows per full segment; fixed at first append
+	segs   []*colSeg // segment directory; the last segment may be partial
+	mixed  []Value   // non-nil: heterogeneous fallback, the source of truth
 }
 
 func bitGet(words []uint64, i int) bool { return words[i>>6]&(1<<(uint(i)&63)) != 0 }
 func bitSet(words []uint64, i int)      { words[i>>6] |= 1 << (uint(i) & 63) }
 func bitClear(words []uint64, i int)    { words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// seg locates position i: the segment holding it and the in-segment offset.
+func (c *column) seg(i int) (*colSeg, int) {
+	return c.segs[i/c.segLen], i % c.segLen
+}
 
 // append adds v at position n (the column's current length).
 func (c *column) append(d *Dict, n int, v Value) {
@@ -26,19 +32,28 @@ func (c *column) append(d *Dict, n int, v Value) {
 		c.mixed = append(c.mixed, v)
 		return
 	}
-	if n&63 == 0 {
-		c.nulls = append(c.nulls, 0)
+	if c.segLen == 0 {
+		c.segLen = segmentRows
+	}
+	off := n % c.segLen
+	if off == 0 {
+		c.segs = append(c.segs, &colSeg{})
+	}
+	s := c.segs[n/c.segLen]
+	if off&63 == 0 {
+		s.nulls = append(s.nulls, 0)
 	}
 	if v.kind == KindNull {
-		bitSet(c.nulls, n)
-		c.pad(1)
+		bitSet(s.nulls, off)
+		c.padSeg(s, 1)
 		return
 	}
 	if c.kind == KindNull {
-		// First non-null cell fixes the physical kind; backfill the data
-		// array for the all-NULL prefix so positions stay aligned.
+		// First non-null cell fixes the physical kind; backfill every
+		// segment's data array for the all-NULL prefix so positions stay
+		// aligned.
 		c.kind = v.kind
-		c.pad(n)
+		c.backfill(n)
 	}
 	if v.kind != c.kind {
 		c.promote(d, n)
@@ -47,35 +62,49 @@ func (c *column) append(d *Dict, n int, v Value) {
 	}
 	switch c.kind {
 	case KindInt:
-		c.ints = append(c.ints, v.i)
+		s.ints = append(s.ints, v.i)
 	case KindFloat:
-		c.floats = append(c.floats, v.f)
+		s.floats = append(s.floats, v.f)
 	case KindBool:
-		c.bools = append(c.bools, v.b)
+		s.bools = append(s.bools, v.b)
 	case KindString:
-		c.codes = append(c.codes, d.Intern(v.s))
+		s.codes = append(s.codes, d.Intern(v.s))
 	}
 }
 
-// pad appends k zero cells to the typed array (their null bits mask them).
-func (c *column) pad(k int) {
+// padSeg appends k zero cells to one segment's typed array (their null bits
+// mask them).
+func (c *column) padSeg(s *colSeg, k int) {
 	switch c.kind {
 	case KindInt:
 		for i := 0; i < k; i++ {
-			c.ints = append(c.ints, 0)
+			s.ints = append(s.ints, 0)
 		}
 	case KindFloat:
 		for i := 0; i < k; i++ {
-			c.floats = append(c.floats, 0)
+			s.floats = append(s.floats, 0)
 		}
 	case KindBool:
 		for i := 0; i < k; i++ {
-			c.bools = append(c.bools, false)
+			s.bools = append(s.bools, false)
 		}
 	case KindString:
 		for i := 0; i < k; i++ {
-			c.codes = append(c.codes, 0)
+			s.codes = append(s.codes, 0)
 		}
+	}
+}
+
+// backfill pads every segment's typed array to cover the first n rows; it
+// runs once, when the first non-null cell fixes the kind of a column whose
+// prefix was all NULL.
+func (c *column) backfill(n int) {
+	for si, s := range c.segs {
+		rows := c.segLen
+		if si == len(c.segs)-1 {
+			rows = n - si*c.segLen
+		}
+		c.padSeg(s, rows-s.rows(c.kind))
 	}
 }
 
@@ -87,7 +116,7 @@ func (c *column) promote(d *Dict, n int) {
 	}
 	c.mixed = vals
 	c.kind = KindNull
-	c.nulls, c.ints, c.floats, c.bools, c.codes = nil, nil, nil, nil, nil
+	c.segs = nil
 }
 
 // get reads the cell at position i.
@@ -95,18 +124,19 @@ func (c *column) get(d *Dict, i int) Value {
 	if c.mixed != nil {
 		return c.mixed[i]
 	}
-	if bitGet(c.nulls, i) {
+	s, off := c.seg(i)
+	if bitGet(s.nulls, off) {
 		return Value{}
 	}
 	switch c.kind {
 	case KindInt:
-		return Value{kind: KindInt, i: c.ints[i]}
+		return Value{kind: KindInt, i: s.ints[off]}
 	case KindFloat:
-		return Value{kind: KindFloat, f: c.floats[i]}
+		return Value{kind: KindFloat, f: s.floats[off]}
 	case KindBool:
-		return Value{kind: KindBool, b: c.bools[i]}
+		return Value{kind: KindBool, b: s.bools[off]}
 	case KindString:
-		return Value{kind: KindString, s: d.String(c.codes[i])}
+		return Value{kind: KindString, s: d.String(s.codes[off])}
 	}
 	return Value{}
 }
@@ -117,40 +147,48 @@ func (c *column) set(d *Dict, i, n int, v Value) {
 		c.mixed[i] = v
 		return
 	}
+	s, off := c.seg(i)
 	if v.kind == KindNull {
-		bitSet(c.nulls, i) // stale typed payload is masked by the bit
+		bitSet(s.nulls, off) // stale typed payload is masked by the bit
 		return
 	}
 	if c.kind == KindNull {
 		c.kind = v.kind
-		c.pad(n)
+		c.backfill(n)
 	}
 	if v.kind != c.kind {
 		c.promote(d, n)
 		c.mixed[i] = v
 		return
 	}
-	bitClear(c.nulls, i)
+	bitClear(s.nulls, off)
 	switch c.kind {
 	case KindInt:
-		c.ints[i] = v.i
+		s.ints[off] = v.i
 	case KindFloat:
-		c.floats[i] = v.f
+		s.floats[off] = v.f
 	case KindBool:
-		c.bools[i] = v.b
+		s.bools[off] = v.b
 	case KindString:
-		c.codes[i] = d.Intern(v.s)
+		s.codes[off] = d.Intern(v.s)
 	}
 }
 
 // clone deep-copies the column (dict codes stay valid: dicts are shared).
 func (c *column) clone() *column {
-	out := &column{kind: c.kind}
-	out.nulls = append([]uint64(nil), c.nulls...)
-	out.ints = append([]int64(nil), c.ints...)
-	out.floats = append([]float64(nil), c.floats...)
-	out.bools = append([]bool(nil), c.bools...)
-	out.codes = append([]uint32(nil), c.codes...)
+	out := &column{kind: c.kind, segLen: c.segLen}
+	if len(c.segs) > 0 {
+		out.segs = make([]*colSeg, len(c.segs))
+		for k, s := range c.segs {
+			out.segs[k] = &colSeg{
+				nulls:  append([]uint64(nil), s.nulls...),
+				ints:   append([]int64(nil), s.ints...),
+				floats: append([]float64(nil), s.floats...),
+				bools:  append([]bool(nil), s.bools...),
+				codes:  append([]uint32(nil), s.codes...),
+			}
+		}
+	}
 	if c.mixed != nil {
 		out.mixed = make([]Value, len(c.mixed))
 		copy(out.mixed, c.mixed)
@@ -174,32 +212,57 @@ func gatherColumn[T int | int32](c *column, rows []T) *column {
 		}
 		return out
 	}
-	out := &column{kind: c.kind, nulls: make([]uint64, (len(rows)+63)/64)}
-	switch c.kind {
-	case KindInt:
-		out.ints = make([]int64, len(rows))
-	case KindFloat:
-		out.floats = make([]float64, len(rows))
-	case KindBool:
-		out.bools = make([]bool, len(rows))
-	case KindString:
-		out.codes = make([]uint32, len(rows))
+	srcLen := c.segLen
+	if srcLen == 0 {
+		srcLen = segmentRows
 	}
-	for k, i := range rows {
-		if bitGet(c.nulls, int(i)) {
-			bitSet(out.nulls, k)
-			continue
+	out := &column{kind: c.kind, segLen: srcLen}
+	n := len(rows)
+	// Output segments are assembled one at a time, reading source cells
+	// through the directory; the common single-segment source skips the
+	// per-row division.
+	var single *colSeg
+	if len(c.segs) == 1 {
+		single = c.segs[0]
+	}
+	for base := 0; base < n; base += srcLen {
+		m := n - base
+		if m > srcLen {
+			m = srcLen
 		}
+		seg := &colSeg{nulls: make([]uint64, (m+63)/64)}
 		switch c.kind {
 		case KindInt:
-			out.ints[k] = c.ints[i]
+			seg.ints = make([]int64, m)
 		case KindFloat:
-			out.floats[k] = c.floats[i]
+			seg.floats = make([]float64, m)
 		case KindBool:
-			out.bools[k] = c.bools[i]
+			seg.bools = make([]bool, m)
 		case KindString:
-			out.codes[k] = c.codes[i]
+			seg.codes = make([]uint32, m)
 		}
+		for k := 0; k < m; k++ {
+			i := int(rows[base+k])
+			src, off := single, i
+			if src == nil {
+				src, off = c.seg(i)
+			}
+			if bitGet(src.nulls, off) {
+				bitSet(seg.nulls, k)
+				continue
+			}
+			switch c.kind {
+			case KindInt:
+				seg.ints[k] = src.ints[off]
+			case KindFloat:
+				seg.floats[k] = src.floats[off]
+			case KindBool:
+				seg.bools[k] = src.bools[off]
+			case KindString:
+				seg.codes[k] = src.codes[off]
+			}
+		}
+		out.segs = append(out.segs, seg)
 	}
 	return out
 }

@@ -92,9 +92,11 @@ func ConcatGather(name string, sch *Schema, left *Relation, selL []int32, right 
 // dictionary into another, caching each distinct translation.
 func translateCodes(c *column, from, to *Dict) {
 	tr := codeTranslator{from: from, to: to}
-	for i := range c.codes {
-		if !bitGet(c.nulls, i) {
-			c.codes[i] = tr.translate(c.codes[i])
+	for _, s := range c.segs {
+		for i := range s.codes {
+			if !bitGet(s.nulls, i) {
+				s.codes[i] = tr.translate(s.codes[i])
+			}
 		}
 	}
 }
@@ -102,88 +104,94 @@ func translateCodes(c *column, from, to *Dict) {
 // Accessor returns a row→Value reader for column j that binds the column's
 // typed storage (and a dictionary snapshot for strings) once, so per-cell
 // reads inside compiled-query inner loops take no locks and no per-column
-// dispatch.
+// dispatch. Single-segment columns — every relation below one segment
+// length — bind the segment's arrays directly; larger columns locate the
+// segment per read.
 func (r *Relation) Accessor(j int) func(i int) Value {
 	c := r.cols[j]
 	if c.mixed != nil {
 		mixed := c.mixed
 		return func(i int) Value { return mixed[i] }
 	}
-	nulls := c.nulls
+	if len(c.segs) == 1 {
+		s := c.segs[0]
+		nulls := s.nulls
+		switch c.kind {
+		case KindInt:
+			ints := s.ints
+			return func(i int) Value {
+				if bitGet(nulls, i) {
+					return Value{}
+				}
+				return Value{kind: KindInt, i: ints[i]}
+			}
+		case KindFloat:
+			floats := s.floats
+			return func(i int) Value {
+				if bitGet(nulls, i) {
+					return Value{}
+				}
+				return Value{kind: KindFloat, f: floats[i]}
+			}
+		case KindBool:
+			bools := s.bools
+			return func(i int) Value {
+				if bitGet(nulls, i) {
+					return Value{}
+				}
+				return Value{kind: KindBool, b: bools[i]}
+			}
+		case KindString:
+			codes := s.codes
+			strs := r.dict.Strings()
+			return func(i int) Value {
+				if bitGet(nulls, i) {
+					return Value{}
+				}
+				return Value{kind: KindString, s: strs[codes[i]]}
+			}
+		}
+		return func(int) Value { return Value{} }
+	}
+	segs, L := c.segs, c.segLen
 	switch c.kind {
 	case KindInt:
-		ints := c.ints
 		return func(i int) Value {
-			if bitGet(nulls, i) {
+			s, off := segs[i/L], i%L
+			if bitGet(s.nulls, off) {
 				return Value{}
 			}
-			return Value{kind: KindInt, i: ints[i]}
+			return Value{kind: KindInt, i: s.ints[off]}
 		}
 	case KindFloat:
-		floats := c.floats
 		return func(i int) Value {
-			if bitGet(nulls, i) {
+			s, off := segs[i/L], i%L
+			if bitGet(s.nulls, off) {
 				return Value{}
 			}
-			return Value{kind: KindFloat, f: floats[i]}
+			return Value{kind: KindFloat, f: s.floats[off]}
 		}
 	case KindBool:
-		bools := c.bools
 		return func(i int) Value {
-			if bitGet(nulls, i) {
+			s, off := segs[i/L], i%L
+			if bitGet(s.nulls, off) {
 				return Value{}
 			}
-			return Value{kind: KindBool, b: bools[i]}
+			return Value{kind: KindBool, b: s.bools[off]}
 		}
 	case KindString:
-		codes := c.codes
 		strs := r.dict.Strings()
 		return func(i int) Value {
-			if bitGet(nulls, i) {
+			s, off := segs[i/L], i%L
+			if bitGet(s.nulls, off) {
 				return Value{}
 			}
-			return Value{kind: KindString, s: strs[codes[i]]}
+			return Value{kind: KindString, s: strs[s.codes[off]]}
 		}
 	}
 	return func(int) Value { return Value{} }
 }
 
-// IntColumn exposes column j's typed storage when it is a homogeneous INT
-// column: the raw values plus the null bitmap (bit set = NULL).
-//
-//lint:view
-func (r *Relation) IntColumn(j int) (vals []int64, nulls []uint64, ok bool) {
-	c := r.cols[j]
-	if c.mixed != nil || c.kind != KindInt {
-		return nil, nil, false
-	}
-	return c.ints, c.nulls, true
-}
-
-// FloatColumn exposes column j's typed storage when it is a homogeneous
-// FLOAT column.
-//
-//lint:view
-func (r *Relation) FloatColumn(j int) (vals []float64, nulls []uint64, ok bool) {
-	c := r.cols[j]
-	if c.mixed != nil || c.kind != KindFloat {
-		return nil, nil, false
-	}
-	return c.floats, c.nulls, true
-}
-
-// StringColumn exposes column j's dictionary codes when it is a homogeneous
-// TEXT column.
-//
-//lint:view
-func (r *Relation) StringColumn(j int) (codes []uint32, nulls []uint64, ok bool) {
-	c := r.cols[j]
-	if c.mixed != nil || c.kind != KindString {
-		return nil, nil, false
-	}
-	return c.codes, c.nulls, true
-}
-
 // NullAt reports whether bit i of a null bitmap returned by the typed
-// column views is set.
+// segment views is set (i is the in-segment offset).
 func NullAt(nulls []uint64, i int) bool { return bitGet(nulls, i) }

@@ -118,52 +118,62 @@ func (r *Relation) ColumnCellKeys(dst []CellKey, j int, target *Dict) []CellKey 
 			dst = append(dst, CellKey{})
 		}
 	case KindInt:
-		for i := 0; i < r.nrows; i++ {
-			if bitGet(c.nulls, i) {
-				dst = append(dst, CellKey{})
-				continue
-			}
-			dst = append(dst, CellKey{Tag: TagNumInt, Bits: uint64(c.ints[i])})
-		}
-	case KindFloat:
-		for i := 0; i < r.nrows; i++ {
-			if bitGet(c.nulls, i) {
-				dst = append(dst, CellKey{})
-				continue
-			}
-			dst = append(dst, floatKey(c.floats[i]))
-		}
-	case KindBool:
-		for i := 0; i < r.nrows; i++ {
-			if bitGet(c.nulls, i) {
-				dst = append(dst, CellKey{})
-				continue
-			}
-			b := uint64(0)
-			if c.bools[i] {
-				b = 1
-			}
-			dst = append(dst, CellKey{Tag: TagBool, Bits: b})
-		}
-	case KindString:
-		if r.dict == target {
-			for i := 0; i < r.nrows; i++ {
-				if bitGet(c.nulls, i) {
+		for _, s := range c.segs {
+			for off, v := range s.ints {
+				if bitGet(s.nulls, off) {
 					dst = append(dst, CellKey{})
 					continue
 				}
-				dst = append(dst, CellKey{Tag: TagString, Bits: uint64(c.codes[i])})
+				dst = append(dst, CellKey{Tag: TagNumInt, Bits: uint64(v)})
+			}
+		}
+	case KindFloat:
+		for _, s := range c.segs {
+			for off, v := range s.floats {
+				if bitGet(s.nulls, off) {
+					dst = append(dst, CellKey{})
+					continue
+				}
+				dst = append(dst, floatKey(v))
+			}
+		}
+	case KindBool:
+		for _, s := range c.segs {
+			for off, v := range s.bools {
+				if bitGet(s.nulls, off) {
+					dst = append(dst, CellKey{})
+					continue
+				}
+				b := uint64(0)
+				if v {
+					b = 1
+				}
+				dst = append(dst, CellKey{Tag: TagBool, Bits: b})
+			}
+		}
+	case KindString:
+		if r.dict == target {
+			for _, s := range c.segs {
+				for off, v := range s.codes {
+					if bitGet(s.nulls, off) {
+						dst = append(dst, CellKey{})
+						continue
+					}
+					dst = append(dst, CellKey{Tag: TagString, Bits: uint64(v)})
+				}
 			}
 			return dst
 		}
 		// Foreign dictionary: translate each distinct source code once.
 		tr := codeTranslator{from: r.dict, to: target}
-		for i := 0; i < r.nrows; i++ {
-			if bitGet(c.nulls, i) {
-				dst = append(dst, CellKey{})
-				continue
+		for _, s := range c.segs {
+			for off, v := range s.codes {
+				if bitGet(s.nulls, off) {
+					dst = append(dst, CellKey{})
+					continue
+				}
+				dst = append(dst, CellKey{Tag: TagString, Bits: uint64(tr.translate(v))})
 			}
-			dst = append(dst, CellKey{Tag: TagString, Bits: uint64(tr.translate(c.codes[i]))})
 		}
 	}
 	return dst

@@ -257,8 +257,10 @@ func (r *Relation) NumericOnly(j int) bool {
 // rendering (deduplicated by the dictionary).
 func (r *Relation) CellCode(i, j int) (uint32, bool) {
 	c := r.cols[j]
-	if c.mixed == nil && c.kind == KindString && !bitGet(c.nulls, i) {
-		return c.codes[i], true
+	if c.mixed == nil && c.kind == KindString {
+		if s, off := c.seg(i); !bitGet(s.nulls, off) {
+			return s.codes[off], true
+		}
 	}
 	v := c.get(r.dict, i)
 	if v.IsNull() {

@@ -17,6 +17,8 @@ type resultCache struct {
 	ll *list.List // front = most recently used
 	// guarded by mu
 	items map[string]*list.Element
+	// guarded by mu
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -55,7 +57,15 @@ func (c *resultCache) put(key string, body []byte) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
 	}
+}
+
+// evicted reports how many entries the capacity bound has dropped.
+func (c *resultCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // len reports the number of cached entries.

@@ -75,8 +75,13 @@ type Options struct {
 
 // Metrics is a point-in-time snapshot of the server's counters.
 type Metrics struct {
-	Requests     int64 `json:"requests"`
-	CacheHits    int64 `json:"cache_hits"`
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Evictions counts result-cache entries dropped by the LRU capacity
+	// bound; a high rate relative to CacheHits means CacheSize is too small
+	// for the working set.
+	Evictions    int64 `json:"evictions"`
 	FlightJoins  int64 `json:"flight_joins"`
 	Solves       int64 `json:"solves"`
 	SideBuilds   int64 `json:"side_builds"`
@@ -154,8 +159,8 @@ type Server struct {
 	base       context.Context
 	baseCancel context.CancelFunc
 
-	requests, cacheHits, flightJoins, solves     atomic.Int64
-	sideBuilds, indexBuilds, cancelled, errCount atomic.Int64
+	requests, cacheHits, cacheMisses, flightJoins, solves atomic.Int64
+	sideBuilds, indexBuilds, cancelled, errCount          atomic.Int64
 
 	// SolveHook, when set, runs at the start of every actual solve (after
 	// single-flight deduplication). Tests use it to hold solves open while
@@ -224,6 +229,8 @@ func (s *Server) Metrics() Metrics {
 	return Metrics{
 		Requests:     s.requests.Load(),
 		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		Evictions:    s.cache.evicted(),
 		FlightJoins:  s.flightJoins.Load(),
 		Solves:       s.solves.Load(),
 		SideBuilds:   s.sideBuilds.Load(),
@@ -330,6 +337,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, body, "hit", start)
 		return
 	}
+	s.cacheMisses.Add(1)
 
 	f, fctx, started := s.flights.join(key, s.base)
 	disposition := "miss"

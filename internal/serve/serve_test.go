@@ -176,6 +176,10 @@ func TestServerCanonicalizationCacheHit(t *testing.T) {
 	if m := s.Metrics(); m.Solves != 1 {
 		t.Fatalf("Solves = %d, want 1 (canonicalization must dedupe)", m.Solves)
 	}
+	if m := s.Metrics(); m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1 (cold miss, canonicalized hit)",
+			m.CacheHits, m.CacheMisses)
+	}
 }
 
 // TestSingleFlight fires concurrent identical requests while the solve is
@@ -269,6 +273,14 @@ func TestEvictionResolve(t *testing.T) {
 	}
 	if m := s.Metrics(); m.CachedBodies != 1 {
 		t.Fatalf("CachedBodies = %d, want 1", m.CachedBodies)
+	}
+	// B's insert evicted A, re-solved A's insert evicted B.
+	if m := s.Metrics(); m.Evictions != 2 {
+		t.Fatalf("Evictions = %d, want 2", m.Evictions)
+	}
+	if m := s.Metrics(); m.CacheMisses != 3 || m.CacheHits != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/3 (every request missed)",
+			m.CacheHits, m.CacheMisses)
 	}
 }
 
