@@ -22,6 +22,12 @@
 //	          diverge across shard counts, if peak heap exceeds
 //	          -shardheapbudget, or — on >= 4 CPUs — if 8 shards are not
 //	          >= 2x faster than the sequential baseline (not part of "all")
+//	deltabench incremental-maintenance baseline: a 1%-row impact-only
+//	          delta against a warm explaind server vs a full one-shot
+//	          recompute on the post-delta data, written to -deltabenchout
+//	          (BENCH_delta.json); fails unless the two bodies are
+//	          byte-identical and the delta path is >= 5x faster (not part
+//	          of "all")
 //
 // The -scale flag shrinks or grows the sweeps (1 = paper-shaped defaults
 // sized for a laptop; the absolute paper scales need hours).
@@ -50,6 +56,7 @@ var (
 	benchout        = flag.String("benchout", "BENCH_milp.json", "output path for the milpbench baseline")
 	servebenchout   = flag.String("servebenchout", "BENCH_serve.json", "output path for the servebench baseline")
 	shardbenchout   = flag.String("shardbenchout", "BENCH_shard.json", "output path for the shardbench baseline")
+	deltabenchout   = flag.String("deltabenchout", "BENCH_delta.json", "output path for the deltabench baseline")
 	shardheapbudget = flag.Float64("shardheapbudget", 4096, "shardbench peak-heap budget in MiB (0 = unlimited)")
 	cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile      = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file on exit")
@@ -59,7 +66,7 @@ var (
 // spelling mistake the run must refuse instead of silently doing nothing.
 var validExperiments = []string{
 	"fig4", "fig6", "fig7", "fig8a", "fig8b", "fig8c", "all",
-	"milpbench", "servebench", "shardbench",
+	"milpbench", "servebench", "shardbench", "deltabench",
 }
 
 func main() {
@@ -138,6 +145,13 @@ func main() {
 		fmt.Println("==== shardbench ====")
 		if err := shardbench(*shardbenchout, *shardheapbudget); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: shardbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "deltabench" {
+		fmt.Println("==== deltabench ====")
+		if err := deltabench(*deltabenchout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: deltabench: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -11,14 +11,28 @@
 //
 //	POST /explain   {"dataset": "nces", "q1": "...", "q2": "...",
 //	                 "matches": "Major.Major <= Stats.Program", ...}
+//	POST /datasets/{name}/delta
+//	                {"db1": {"Major": {"appends": [...], "updates":
+//	                 [{"row": 3, "values": [...]}], "deletes": [7]}}, ...}
 //	GET  /datasets  registered pairs and their row counts
 //	GET  /stats     request/solve counters, cache hit/miss/eviction
-//	                counts, and single-flight joins
+//	                counts, single-flight joins, and delta metrics
+//	                (deltas/rows applied, invalidations, dirty
+//	                partitions, side builds)
 //	GET  /healthz   liveness
 //
 // Repeat and textually-equivalent requests are answered from a result
 // cache; concurrent identical requests share one solve. SIGINT/SIGTERM
 // drains in-flight requests and cancels their solves.
+//
+// Deltas apply copy-on-write: each batch publishes a new dataset
+// generation atomically while in-flight explains keep reading the
+// generation they started on. Untouched relations share storage across
+// generations, so a re-explain after a delta rebuilds Stage 1 only for
+// dirty partitions, reuses cached block solutions whose instance hashes
+// are unchanged, and reuses whole prebuilt query sides when a query's
+// read set was not touched. Result-cache entries are invalidated only
+// if their queries read a touched relation.
 package main
 
 import (

@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"explain3d/internal/core"
@@ -294,19 +295,24 @@ func ConvertResult(res *core.Result, withSummary bool) *Result {
 	return out
 }
 
-// summarizeResult runs Stage 3 over both sides' derived explanations.
+// summarizeResult runs Stage 3 over both sides' derived explanations. The
+// sides read disjoint provenance relations, so they summarize concurrently;
+// the output keeps the Q1-then-Q2 order.
 func summarizeResult(res *core.Result) []string {
-	var lines []string
-	for _, side := range []core.Side{core.Left, core.Right} {
-		q := 1
-		if side == core.Right {
-			q = 2
-		}
-		for _, p := range experiments.SummarizeSide(res, res.Expl, side) {
-			lines = append(lines, fmt.Sprintf("[Q%d] %s (%d tuples, %d false positives)", q, p, p.Covered, p.FalsePos))
-		}
+	var bySide [2][]string
+	var wg sync.WaitGroup
+	for si, side := range []core.Side{core.Left, core.Right} {
+		wg.Add(1)
+		go func(si int, side core.Side) {
+			defer wg.Done()
+			for _, p := range experiments.SummarizeSide(res, res.Expl, side) {
+				bySide[si] = append(bySide[si],
+					fmt.Sprintf("[Q%d] %s (%d tuples, %d false positives)", si+1, p, p.Covered, p.FalsePos))
+			}
+		}(si, side)
 	}
-	return lines
+	wg.Wait()
+	return append(bySide[0], bySide[1]...)
 }
 
 // RunQuery evaluates a single SQL query against a database; aggregate

@@ -39,6 +39,18 @@ func SolveInstance(inst *Instance, p Params) (*Explanations, *Stats, error) {
 // delete-everything fallback) and Stats.TimedOut is set, exactly like an
 // expired time budget.
 func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Explanations, *Stats, error) {
+	return SolveInstanceCached(ctx, inst, p, nil)
+}
+
+// SolveInstanceCached is SolveInstanceContext with a solution cache: each
+// sub-problem first consults cache by content hash and, on a hit, replays
+// the stored local-coordinate fragment instead of encoding and solving.
+// Because the key covers everything the solve depends on and only proven-
+// optimal results are cached, the merged output is byte-identical to an
+// uncached run — unchanged partitions of an incrementally maintained
+// instance become free. cache may be nil (no caching) and may be shared
+// across calls and goroutines.
+func SolveInstanceCached(ctx context.Context, inst *Instance, p Params, cache *SolveCache) (*Explanations, *Stats, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
 		return nil, nil, err
@@ -89,6 +101,20 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 		frag := &Explanations{}
 		frags[si] = frag
 		st := &subStats[si]
+		var key string
+		if cache != nil {
+			key = subKey(inst, sub, p)
+			if e, ok := cache.lookup(key); ok {
+				// Replay the stored fragment against this sub-problem's ids;
+				// stored stats (with the cache counters re-zeroed at store
+				// time) keep the merged totals content-deterministic.
+				*st = e.stats
+				st.SolveCacheHits = 1
+				*frag = *e.frag.globalize(sub)
+				return
+			}
+			st.SolveCacheMisses = 1
+		}
 		// No pre-encode short-circuit on an expired budget: encoding still
 		// pays off because the solver returns the warm-start (greedy)
 		// incumbent as StatusLimit, so budgets degrade to greedy-quality
@@ -97,6 +123,19 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 		st.MILPVars = enc.model.NumVars()
 		st.MILPRows = enc.model.NumRows()
 		opt := milp.Options{MaxNodes: p.SolverMaxNodes, WarmStart: warmStart(inst, enc)}
+		var skey string
+		warmPrevIters := -1
+		if cache != nil && cache.Warm {
+			skey = structKey(inst, sub, p)
+			if se := cache.lookupStruct(skey, enc.model.NumVars()); se != nil {
+				// Seed from the last optimal assignment of an identically
+				// shaped sub-problem; the solver feasibility-checks it and
+				// falls back to the greedy incumbent if the numbers moved
+				// too far. Opt-in: tied optima may come out differently.
+				opt.WarmStart = append([]float64(nil), se.x...)
+				warmPrevIters = se.iters
+			}
+		}
 		sol, err := milp.SolveContext(ctx, enc.model, opt)
 		if err != nil {
 			fail(fmt.Errorf("core: solving sub-problem: %w", err))
@@ -109,6 +148,11 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 		st.CertInfeas = sol.CertInfeas
 		st.SparseBlocks = sol.SparseBlocks
 		st.DenseBlocks = sol.DenseBlocks
+		if warmPrevIters >= 0 {
+			st.WarmStarted = 1
+			st.WarmItersSaved = warmPrevIters - sol.Iters
+			cache.recordWarm(st.WarmItersSaved)
+		}
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusLimit:
@@ -131,6 +175,16 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 			return
 		}
 		*frag = *decode(inst, enc, sol)
+		if cache != nil && sol.Status == milp.StatusOptimal {
+			stored := *st
+			stored.SolveCacheMisses = 0
+			stored.WarmStarted = 0
+			stored.WarmItersSaved = 0
+			cache.store(key, localFragOf(inst, enc, sol), stored)
+			if cache.Warm {
+				cache.storeStruct(skey, sol)
+			}
+		}
 	}
 
 	workers := p.Workers
@@ -192,6 +246,10 @@ func SolveInstanceContext(ctx context.Context, inst *Instance, p Params) (*Expla
 		stats.CertInfeas += subStats[si].CertInfeas
 		stats.SparseBlocks += subStats[si].SparseBlocks
 		stats.DenseBlocks += subStats[si].DenseBlocks
+		stats.SolveCacheHits += subStats[si].SolveCacheHits
+		stats.SolveCacheMisses += subStats[si].SolveCacheMisses
+		stats.WarmStarted += subStats[si].WarmStarted
+		stats.WarmItersSaved += subStats[si].WarmItersSaved
 		if subStats[si].TimedOut {
 			stats.TimedOut = true
 		}

@@ -1,0 +1,168 @@
+package datagen
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestScenarioSkew: a Zipf-skewed scenario concentrates aggregate mass —
+// the top decile of values must carry far more than uniform's share — while
+// staying in the [1,100] value range and deterministic per seed.
+func TestScenarioSkew(t *testing.T) {
+	gen := func(skew float64) []int64 {
+		s := GenerateScenario(ScenarioSpec{Rows: 4000, Skew: skew, Seed: 11})
+		r, _ := s.DB1.Relation("Scen1")
+		vi := r.Schema.MustIndex("val")
+		vals := make([]int64, r.Len())
+		for i := range vals {
+			vals[i] = r.At(i, vi).IntVal()
+		}
+		return vals
+	}
+	topShare := func(vals []int64) float64 {
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		var top, total int64
+		for i, v := range sorted {
+			total += v
+			if i < len(sorted)/10 {
+				top += v
+			}
+		}
+		return float64(top) / float64(total)
+	}
+	skewed, uniform := gen(1.5), gen(0)
+	for _, v := range skewed {
+		if v < 1 || v > 100 {
+			t.Fatalf("skewed val %d out of [1,100]", v)
+		}
+	}
+	if s, u := topShare(skewed), topShare(uniform); s < u+0.15 {
+		t.Fatalf("top-decile share: skewed %.3f vs uniform %.3f — no concentration", s, u)
+	}
+	a, b := gen(1.5), gen(1.5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different skewed values")
+		}
+	}
+}
+
+// TestScenarioNoiseKinds: every treatment dirties the targeted keys while
+// preserving the id token, and each kind leaves its characteristic trace
+// (typo keeps the word count, format loses exactly one word).
+func TestScenarioNoiseKinds(t *testing.T) {
+	for _, kind := range []string{"word", "typo", "format"} {
+		t.Run(kind, func(t *testing.T) {
+			spec := ScenarioSpec{
+				Rows: 2000, Disagree: 0.0001, Noise: 0.3, WordsPerKey: 3,
+				NoiseKind: kind, Seed: 5,
+			}
+			s := GenerateScenario(spec)
+			if s.Noised < 400 {
+				t.Fatalf("only %d noised rows", s.Noised)
+			}
+			r1, _ := s.DB1.Relation("Scen1")
+			r2, _ := s.DB2.Relation("Scen2")
+			k1 := r1.Schema.MustIndex("match_attr")
+			k2 := r2.Schema.MustIndex("match_attr")
+			// With Disagree≈0 both sides keep all rows, aligned by position.
+			if r1.Len() != r2.Len() {
+				t.Skipf("sides unaligned (%d vs %d)", r1.Len(), r2.Len())
+			}
+			differ := 0
+			for i := 0; i < r1.Len(); i++ {
+				a, b := r1.At(i, k1).Str(), r2.At(i, k2).Str()
+				if a == b {
+					continue
+				}
+				differ++
+				wa, wb := strings.Fields(a), strings.Fields(b)
+				if wa[0] != wb[0] {
+					t.Fatalf("row %d: id token changed (%q vs %q)", i, a, b)
+				}
+				switch kind {
+				case "typo":
+					if len(wa) != len(wb) {
+						t.Fatalf("row %d: typo changed the word count (%q vs %q)", i, a, b)
+					}
+				case "format":
+					if len(wa)-len(wb) != 1 && len(wb)-len(wa) != 1 {
+						t.Fatalf("row %d: format fuse must drop exactly one word (%q vs %q)", i, a, b)
+					}
+				}
+			}
+			if differ < 400 {
+				t.Fatalf("only %d key pairs differ, want ≈%d", differ, s.Noised)
+			}
+		})
+	}
+}
+
+// TestGenerateDelta: the generated batch applies cleanly, has exactly the
+// requested shape, keeps update keys put (impact-only), mints unique
+// appended ids outside the base range, and is deterministic per seed.
+func TestGenerateDelta(t *testing.T) {
+	sc := GenerateScenario(ScenarioSpec{Rows: 1000, ExtraCols: 1, NullRate: 0.2, Skew: 1.5, Seed: 3})
+	r, _ := sc.DB1.Relation("Scen1")
+	spec := DeltaSpec{Updates: 10, Appends: 5, Deletes: 4, Seed: 99}
+	d, err := sc.GenerateDelta(r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Updates) != 10 || len(d.Appends) != 5 || len(d.Deletes) != 4 {
+		t.Fatalf("batch shape %d/%d/%d", len(d.Updates), len(d.Appends), len(d.Deletes))
+	}
+	ki := r.Schema.MustIndex("match_attr")
+	for _, u := range d.Updates {
+		if u.Values[1].Str() != r.At(u.Row, ki).Str() {
+			t.Fatalf("update at row %d rewrote the key", u.Row)
+		}
+		if v := u.Values[2].IntVal(); v < 1 || v > 100 {
+			t.Fatalf("update val %d out of range", v)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, a := range d.Appends {
+		id := a[0].IntVal()
+		if id < 1<<40 {
+			t.Fatalf("appended id %d collides with the base range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate appended id %d", id)
+		}
+		seen[id] = true
+		if len(a) != 5 {
+			t.Fatalf("appended arity %d, want 5", len(a))
+		}
+		if !strings.HasPrefix(a[1].Str(), "d") {
+			t.Fatalf("appended key %q lacks the delta id token", a[1].Str())
+		}
+	}
+	// A different seed mints disjoint appended ids.
+	d2, err := sc.GenerateDelta(r, DeltaSpec{Appends: 5, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d2.Appends {
+		if seen[a[0].IntVal()] {
+			t.Fatalf("seeds 99 and 100 minted the same id %d", a[0].IntVal())
+		}
+	}
+	// Deterministic and applicable.
+	d3, _ := sc.GenerateDelta(r, spec)
+	if len(d3.Updates) != len(d.Updates) || d3.Updates[0].Row != d.Updates[0].Row {
+		t.Fatal("same seed, different batch")
+	}
+	nr, res, err := r.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Len() != r.Len()+5-4 || res.Updated != 10 {
+		t.Fatalf("apply result: len %d, %+v", nr.Len(), res)
+	}
+	if _, err := sc.GenerateDelta(r, DeltaSpec{Updates: r.Len(), Deletes: 1}); err == nil {
+		t.Fatal("oversized batch must error")
+	}
+}

@@ -42,7 +42,18 @@ type ScenarioSpec struct {
 	ExtraCols int
 	// NullRate is the NULL fraction within the extra payload columns.
 	NullRate float64
-	Seed     int64
+	// Skew > 1 draws val from a Zipf distribution with exponent Skew over
+	// [1, 100] instead of uniform, so a heavy tail of tuples carries most of
+	// the aggregate — the shape real impact distributions have. 0 = uniform.
+	Skew float64
+	// NoiseKind selects how Noise dirties a key. "" or "word" rewrites one
+	// filler word (the original treatment); "typo" applies a character edit
+	// — transpose, substitute, or delete — inside a filler word; "format"
+	// fuses two adjacent filler words into one token, simulating delimiter
+	// drift (falls back to typo when WordsPerKey < 2). The id token is never
+	// touched, so pairs stay discoverable through blocking.
+	NoiseKind string
+	Seed      int64
 }
 
 func (s ScenarioSpec) withDefaults() ScenarioSpec {
@@ -60,6 +71,11 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 	}
 	if s.Noise == 0 {
 		s.Noise = 0.05
+	}
+	switch s.NoiseKind {
+	case "", "word", "typo", "format":
+	default:
+		panic(fmt.Sprintf("datagen: unknown NoiseKind %q", s.NoiseKind))
 	}
 	return s
 }
@@ -112,6 +128,16 @@ func GenerateScenario(spec ScenarioSpec) *Scenario {
 	for i := range vocab {
 		vocab[i] = fmt.Sprintf("w%04d", i)
 	}
+	var zipf *rand.Zipf
+	if spec.Skew > 1 {
+		zipf = rand.NewZipf(rng, spec.Skew, 1, 99)
+	}
+	drawVal := func() int64 {
+		if zipf != nil {
+			return 1 + int64(zipf.Uint64())
+		}
+		return int64(1 + rng.Intn(100))
+	}
 	cols := []string{"id", "match_attr", "val", EIDColumn}
 	for e := 0; e < spec.ExtraCols; e++ {
 		cols = append(cols, fmt.Sprintf("extra%d", e))
@@ -138,7 +164,7 @@ func GenerateScenario(spec ScenarioSpec) *Scenario {
 		}
 		key := joinWords(words)
 		key1, key2 := key, key
-		val := int64(1 + rng.Intn(100))
+		val := drawVal()
 		val1, val2 := val, val
 		drop1, drop2 := false, false
 		switch u := rng.Float64(); {
@@ -159,15 +185,13 @@ func GenerateScenario(spec ScenarioSpec) *Scenario {
 			}
 		case u < spec.Disagree+spec.Noise:
 			out.Noised++
-			dirty := make([]string, len(words))
-			copy(dirty, words)
-			// Rewrite a filler word, never the id token: the pair stays
+			// Dirty a filler word, never the id token: the pair stays
 			// discoverable through blocking but drops out of exact match.
-			dirty[1+rng.Intn(spec.WordsPerKey)] = vocab[rng.Intn(spec.Vocab)]
+			dirtyKey := dirtyVariant(words, spec, vocab, rng)
 			if rng.Intn(2) == 0 {
-				key1 = joinWords(dirty)
+				key1 = dirtyKey
 			} else {
-				key2 = joinWords(dirty)
+				key2 = dirtyKey
 			}
 		}
 		if !drop1 {
@@ -180,4 +204,55 @@ func GenerateScenario(spec ScenarioSpec) *Scenario {
 	out.DB1 = relation.NewDatabase(spec.Name + "1").Add(t1)
 	out.DB2 = relation.NewDatabase(spec.Name + "2").Add(t2)
 	return out
+}
+
+// dirtyVariant applies the spec's noise treatment to a copy of the key's
+// words and returns the dirtied key. words[0] (the id token) is preserved.
+func dirtyVariant(words []string, spec ScenarioSpec, vocab []string, rng *rand.Rand) string {
+	dirty := make([]string, len(words))
+	copy(dirty, words)
+	switch spec.NoiseKind {
+	case "", "word":
+		dirty[1+rng.Intn(spec.WordsPerKey)] = vocab[rng.Intn(spec.Vocab)]
+	case "format":
+		if spec.WordsPerKey >= 2 {
+			// Fuse two adjacent filler words: same characters, different
+			// tokenization — the key loses two tokens and gains a fused one.
+			w := 1 + rng.Intn(spec.WordsPerKey-1)
+			fused := make([]string, 0, len(dirty)-1)
+			fused = append(fused, dirty[:w]...)
+			fused = append(fused, dirty[w]+dirty[w+1])
+			fused = append(fused, dirty[w+2:]...)
+			dirty = fused
+			break
+		}
+		fallthrough
+	case "typo":
+		w := 1 + rng.Intn(spec.WordsPerKey)
+		dirty[w] = typoWord(dirty[w], rng)
+	}
+	return joinWords(dirty)
+}
+
+// typoWord applies one character-level edit — transpose, substitute, or
+// delete — keeping the word non-empty.
+func typoWord(w string, rng *rand.Rand) string {
+	b := []byte(w)
+	if len(b) < 2 {
+		return w + "q"
+	}
+	i := rng.Intn(len(b) - 1)
+	switch rng.Intn(3) {
+	case 0: // transpose adjacent characters
+		b[i], b[i+1] = b[i+1], b[i]
+		if b[i] != b[i+1] {
+			return string(b)
+		}
+		fallthrough // equal pair: transposition is a no-op, substitute instead
+	case 1: // substitute with a different lowercase letter
+		b[i] = 'a' + byte((int(b[i]-'a')+1+rng.Intn(24))%26)
+		return string(b)
+	default: // delete
+		return string(append(b[:i:i], b[i+1:]...))
+	}
 }

@@ -158,46 +158,118 @@ func PrePartition(b *Bipartite, opt SmartOptions) *PrePartitionResult {
 	return &PrePartitionResult{Coarse: coarse, NodeMap: nodeMap, Members: members}
 }
 
-// SmartPartition implements Algorithm 3: pre-partition, run the multilevel
-// partitioner on the coarse graph with bound Lmax, then expand super-nodes
-// back to original node ids. The result is a list of partitions, each a
-// sorted list of global node ids. Super-nodes heavier than the batch size
-// become their own partition (they cannot be split without cutting a
-// high-probability match).
+// SmartPartition implements Algorithm 3 with locality-preserving packing:
+// pre-partition, split each oversized connected component of the coarse
+// graph with the multilevel partitioner, then pack whole components into
+// batches in original-node-id order under the Lmax bound. Packing never
+// cuts an edge between components (there are none), so the only severed
+// matches are those the per-component splits cut — no worse than running
+// the partitioner on the whole coarse graph — and batch membership tracks
+// tuple locality: a delta touching a narrow id range dirties few batches,
+// which the incremental re-solve path exploits. The result is a list of
+// partitions, each a sorted list of global node ids. Super-nodes heavier
+// than the batch size become their own partition (they cannot be split
+// without cutting a high-probability match).
 func SmartPartition(b *Bipartite, opt SmartOptions) ([][]int, error) {
 	if opt.BatchSize < 1 {
 		return nil, fmt.Errorf("graph: SmartPartition requires BatchSize ≥ 1, got %d", opt.BatchSize)
 	}
 	pre := PrePartition(b, opt)
-	total := b.Size()
-	k := (total + opt.BatchSize - 1) / opt.BatchSize
-	if k < 1 {
-		k = 1
-	}
-	// Oversized super-nodes get dedicated parts; the partitioner handles
-	// the rest.
 	coarse := pre.Coarse
-	part, err := Partition(coarse, PartitionOptions{LMax: opt.BatchSize, K: k})
+
+	// A packing unit is a set of coarse nodes no batch boundary may cut,
+	// expanded to sorted original node ids.
+	type unit struct {
+		weight int
+		nodes  []int
+	}
+	var units []unit
+	addUnit := func(coarseNodes []int) {
+		w := 0
+		var nodes []int
+		for _, cn := range coarseNodes {
+			w += coarse.NodeWeight[cn]
+			nodes = append(nodes, pre.Members[cn]...)
+		}
+		sort.Ints(nodes)
+		units = append(units, unit{weight: w, nodes: nodes})
+	}
+	for _, comp := range coarse.ConnectedComponents() {
+		w := 0
+		for _, cn := range comp {
+			w += coarse.NodeWeight[cn]
+		}
+		if w <= opt.BatchSize || len(comp) == 1 {
+			addUnit(comp)
+			continue
+		}
+		// Oversized component: split it alone under the balance bound,
+		// minimizing the severed match weight within the component.
+		parts, err := splitComponent(coarse, comp, opt.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			addUnit(part)
+		}
+	}
+	// Units come out ordered by smallest original member; a sequential
+	// first-fit then yields batches whose id spans follow that order.
+	sort.Slice(units, func(i, j int) bool { return units[i].nodes[0] < units[j].nodes[0] })
+	var out [][]int
+	var cur []int
+	curW := 0
+	for _, u := range units {
+		if curW > 0 && curW+u.weight > opt.BatchSize {
+			sort.Ints(cur)
+			out = append(out, cur)
+			cur, curW = nil, 0
+		}
+		cur = append(cur, u.nodes...)
+		curW += u.weight
+	}
+	if len(cur) > 0 {
+		sort.Ints(cur)
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// splitComponent partitions one oversized coarse component under the batch
+// bound and returns groups of coarse node ids, ordered by part index.
+func splitComponent(coarse *Graph, comp []int, batch int) ([][]int, error) {
+	local := New(len(comp))
+	idx := make(map[int]int, len(comp))
+	w := 0
+	for i, cn := range comp {
+		idx[cn] = i
+		local.NodeWeight[i] = coarse.NodeWeight[cn]
+		w += coarse.NodeWeight[cn]
+	}
+	for i, cn := range comp {
+		for _, e := range coarse.Neighbors(cn) {
+			if j, ok := idx[e.To]; ok && j > i {
+				local.AddEdge(i, j, e.Weight)
+			}
+		}
+	}
+	k := (w + batch - 1) / batch
+	part, err := Partition(local, PartitionOptions{LMax: batch, K: k})
 	if err != nil {
 		return nil, err
 	}
 	groups := make(map[int][]int)
-	for cn, p := range part {
-		groups[p] = append(groups[p], cn)
+	for i, p := range part {
+		groups[p] = append(groups[p], comp[i])
 	}
 	keys := make([]int, 0, len(groups))
 	for p := range groups {
 		keys = append(keys, p)
 	}
 	sort.Ints(keys)
-	var out [][]int
+	out := make([][]int, 0, len(keys))
 	for _, p := range keys {
-		var nodes []int
-		for _, cn := range groups[p] {
-			nodes = append(nodes, pre.Members[cn]...)
-		}
-		sort.Ints(nodes)
-		out = append(out, nodes)
+		out = append(out, groups[p])
 	}
 	return out, nil
 }

@@ -32,6 +32,10 @@ type Index struct {
 	rCols    []matchCol
 	rBlock   [][]uint32
 	post     [][]int32
+	// pruned retains the full posting lists of globally skipped stop-word
+	// tokens (post[t] is nil there), so incremental maintenance can re-derive
+	// and re-prune complete lists after a delta.
+	pruned   map[uint32][]int32
 	skipped  []bool
 	anySkip  bool
 	shards   int     // > 1: sharded posting lists and scan (see scanSharded)
@@ -105,29 +109,40 @@ func (ix *Index) finalize() {
 			}
 		}
 	}
-	// Stop-word pruning: a single token cannot satisfy MinSharedTokens > 1
-	// alone, so up to MinSharedTokens-1 posting lists — the longest,
-	// typically stop-word-frequency tokens that dominate candidate-merge
-	// cost — can be dropped entirely. Every qualifying pair still shares at
-	// least one surviving token, so candidate discovery stays complete;
-	// borderline candidates verify their exact shared-token count against
-	// the full per-row token lists during the scan.
-	if ix.opt.MinSharedTokens > 1 {
-		ix.skipped = make([]bool, len(ix.post))
-		for s := 0; s < ix.opt.MinSharedTokens-1; s++ {
-			best, bestLen := -1, skipFloor-1
-			for t, p := range ix.post {
-				if !ix.skipped[t] && len(p) > bestLen {
-					best, bestLen = t, len(p)
-				}
+	ix.prune()
+}
+
+// prune applies the global stop-word prune: a single token cannot satisfy
+// MinSharedTokens > 1 alone, so up to MinSharedTokens-1 posting lists — the
+// longest, typically stop-word-frequency tokens that dominate candidate-
+// merge cost — can be dropped entirely. Every qualifying pair still shares
+// at least one surviving token, so candidate discovery stays complete;
+// borderline candidates verify their exact shared-token count against the
+// full per-row token lists during the scan. Pruned lists are retained in
+// ix.pruned so ApplyDelta can maintain them. It expects ix.post to hold
+// full (unpruned) lists and must run exactly once per Index.
+func (ix *Index) prune() {
+	if ix.opt.MinSharedTokens <= 1 {
+		return
+	}
+	ix.skipped = make([]bool, len(ix.post))
+	for s := 0; s < ix.opt.MinSharedTokens-1; s++ {
+		best, bestLen := -1, skipFloor-1
+		for t, p := range ix.post {
+			if !ix.skipped[t] && len(p) > bestLen {
+				best, bestLen = t, len(p)
 			}
-			if best < 0 {
-				break
-			}
-			ix.skipped[best] = true
-			ix.post[best] = nil
-			ix.anySkip = true
 		}
+		if best < 0 {
+			break
+		}
+		ix.skipped[best] = true
+		if ix.pruned == nil {
+			ix.pruned = make(map[uint32][]int32)
+		}
+		ix.pruned[uint32(best)] = ix.post[best]
+		ix.post[best] = nil
+		ix.anySkip = true
 	}
 }
 
@@ -144,6 +159,15 @@ func (ix *Index) postings(tok uint32) []int32 {
 // globallySkipped reports whether the token's posting list was pruned.
 func (ix *Index) globallySkipped(tok uint32) bool {
 	return ix.skipped != nil && int(tok) < len(ix.skipped) && ix.skipped[tok]
+}
+
+// fullPostings returns the complete posting list of a token, including
+// stop-word-pruned ones — the incremental-maintenance view of the index.
+func (ix *Index) fullPostings(tok uint32) []int32 {
+	if ix.globallySkipped(tok) {
+		return ix.pruned[tok]
+	}
+	return ix.postings(tok)
 }
 
 // leftView is one left relation prepared for scanning against an Index:

@@ -38,6 +38,8 @@ type Relation struct {
 	dict   *Dict
 	cols   []*column
 	nrows  int
+	// version counts ApplyDelta generations (see delta.go); 0 when fresh.
+	version int64
 }
 
 // New creates an empty relation with the given name and column refs, backed

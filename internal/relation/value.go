@@ -212,23 +212,29 @@ func (v Value) Compare(o Value) (int, bool) {
 // Key returns a canonical string encoding used for hashing group-by keys and
 // join keys. Distinct values map to distinct keys.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the Key encoding to dst and returns the extended slice,
+// for hot paths that build composite keys without intermediate strings.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(dst, "\x00N"...)
 	case KindString:
-		return "\x00S" + v.s
+		return append(append(dst, 0, 'S'), v.s...)
 	case KindInt:
-		return "\x00I" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 0, 'I'), v.i, 10)
 	case KindFloat:
 		// Integral floats hash like ints so 2.0 groups with 2.
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e15 {
-			return "\x00I" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(dst, 0, 'I'), int64(v.f), 10)
 		}
-		return "\x00F" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return strconv.AppendFloat(append(dst, 0, 'F'), v.f, 'b', -1, 64)
 	case KindBool:
-		return "\x00B" + strconv.FormatBool(v.b)
+		return strconv.AppendBool(append(dst, 0, 'B'), v.b)
 	default:
-		return "\x00?"
+		return append(dst, 0, '?')
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 // resultCache is a fixed-capacity LRU over marshaled response bodies. The
 // body bytes are immutable once stored, so hits hand the same slice to
 // every writer — responses stay byte-identical to the solve that produced
-// them.
+// them. Entries carry the dataset they answer for, the set of relation
+// tags their queries read, and the data version they were computed at, so
+// a delta invalidates exactly the entries it could have changed.
 type resultCache struct {
 	mu sync.Mutex
 	// guarded by mu
@@ -19,11 +21,18 @@ type resultCache struct {
 	items map[string]*list.Element
 	// guarded by mu
 	evictions int64
+	// guarded by mu
+	invalidations int64
 }
 
 type cacheEntry struct {
-	key  string
-	body []byte
+	key     string
+	body    []byte
+	dataset string
+	// tags are the relations the entry's queries read, "1:"/"2:"-prefixed
+	// by database side and lowercased.
+	tags    []string
+	version int64
 }
 
 func newResultCache(max int) *resultCache {
@@ -31,28 +40,31 @@ func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the cached body and marks the entry most recently used.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached body and the data version it was computed at,
+// marking the entry most recently used.
+func (c *resultCache) get(key string) ([]byte, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.version, true
 }
 
 // put stores a body, evicting the least recently used entry over capacity.
-func (c *resultCache) put(key string, body []byte) {
+func (c *resultCache) put(key string, body []byte, dataset string, tags []string, version int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		e.body, e.dataset, e.tags, e.version = body, dataset, tags, version
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, dataset: dataset, tags: tags, version: version})
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
@@ -61,11 +73,46 @@ func (c *resultCache) put(key string, body []byte) {
 	}
 }
 
+// invalidate drops every entry for the dataset whose queries read any of
+// the touched relation tags, returning how many were dropped. Entries for
+// other datasets or untouched relations stay valid: their answers cannot
+// have changed.
+func (c *resultCache) invalidate(dataset string, touched map[string]bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var drop []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.dataset != dataset {
+			continue
+		}
+		for _, tag := range e.tags {
+			if touched[tag] {
+				drop = append(drop, el)
+				break
+			}
+		}
+	}
+	for _, el := range drop {
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+	c.invalidations += int64(len(drop))
+	return len(drop)
+}
+
 // evicted reports how many entries the capacity bound has dropped.
 func (c *resultCache) evicted() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
+}
+
+// invalidated reports how many entries deltas have dropped.
+func (c *resultCache) invalidated() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidations
 }
 
 // len reports the number of cached entries.

@@ -1,0 +1,334 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	explain3d "explain3d"
+	"explain3d/internal/core"
+	"explain3d/internal/datagen"
+	"explain3d/internal/linkage"
+	"explain3d/internal/relation"
+	"explain3d/internal/serve"
+)
+
+// TestRegisterConflict pins the structured conflict error: a duplicate name
+// is rejected with a *serve.ConflictError carrying the name, and the
+// original dataset stays registered and untouched.
+func TestRegisterConflict(t *testing.T) {
+	pair := datagen.GenerateAcademic(academicSpec())
+	s := serve.New(serve.Options{})
+	defer s.Close()
+	if err := s.Register("acad", pair.DB1, pair.DB2); err != nil {
+		t.Fatal(err)
+	}
+	other := datagen.GenerateScenario(datagen.ScenarioSpec{Rows: 10, Seed: 1})
+	err := s.Register("acad", other.DB1, other.DB2)
+	var ce *serve.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("duplicate Register error = %v (%T), want *serve.ConflictError", err, err)
+	}
+	if ce.Name != "acad" {
+		t.Fatalf("ConflictError.Name = %q, want %q", ce.Name, "acad")
+	}
+	ds, ok := s.Dataset("acad")
+	if !ok || ds.Version() != 0 {
+		t.Fatal("original dataset must survive the rejected re-registration")
+	}
+}
+
+// scenarioServer registers a generated scenario pair (plus a spare relation
+// on side 1 that no query reads) under the name "scen".
+func scenarioServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server, *datagen.Scenario) {
+	t.Helper()
+	sc := datagen.GenerateScenario(datagen.ScenarioSpec{
+		Rows: 120, Vocab: 60, WordsPerKey: 3, Disagree: 0.05, Noise: 0.05, Seed: 42,
+	})
+	extra := relation.New("Extra", "a", "b")
+	extra.AppendRow(relation.Tuple{relation.Int(1), relation.String("x")})
+	sc.DB1.Add(extra)
+	s := serve.New(opts)
+	if err := s.Register("scen", sc.DB1, sc.DB2); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts, sc
+}
+
+func scenarioRequest(sc *datagen.Scenario) serve.Request {
+	return serve.Request{
+		Dataset: "scen", Q1: sc.Q1.String(), Q2: sc.Q2.String(),
+		Matches: matchText(sc.Mattr), BatchSize: 12,
+	}
+}
+
+// scenarioOneShot computes the reference body: a fresh one-shot Explain
+// over the given database generations with the server's parameter
+// resolution.
+func scenarioOneShot(t *testing.T, db1, db2 *relation.Database, sc *datagen.Scenario, rq serve.Request) []byte {
+	t.Helper()
+	popt := linkage.DefaultPairOptions()
+	if rq.MinSharedTokens > 0 {
+		popt.MinSharedTokens = rq.MinSharedTokens
+	}
+	if rq.MinSim > 0 {
+		popt.MinSim = rq.MinSim
+	}
+	if rq.Shards > 0 {
+		popt.Shards = rq.Shards
+	}
+	params := explain3d.CoreParams(&explain3d.Options{
+		Alpha: rq.Alpha, Beta: rq.Beta, BatchSize: rq.BatchSize, Workers: rq.Workers,
+	})
+	res, err := core.ExplainContext(context.Background(), core.Input{
+		DB1: db1, DB2: db2, Q1: sc.Q1, Q2: sc.Q2, Mattr: sc.Mattr,
+		MinProb: rq.MinProb, PairOpts: &popt,
+	}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(explain3d.ConvertResult(res, !rq.NoSummary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postDelta(t *testing.T, url, name string, dr serve.DeltaRequest) (*http.Response, serve.DeltaResponse, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(dr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/datasets/"+name+"/delta", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out serve.DeltaResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("delta response: %v: %s", err, raw)
+		}
+	}
+	return resp, out, raw
+}
+
+// TestDeltaEndToEnd drives the full delta path over HTTP: cold solve,
+// cache hit, a delta to a relation no query reads (version bump, zero
+// invalidation, still a hit), then an impact-only delta to the queried
+// relation (targeted invalidation, incremental prefix advance, solution-
+// cache reuse) whose re-solve is byte-identical to a fresh one-shot
+// Explain on the post-delta data. Metrics are pinned at each step.
+func TestDeltaEndToEnd(t *testing.T) {
+	s, ts, sc := scenarioServer(t, serve.Options{})
+	rq := scenarioRequest(sc)
+
+	resp, cold := post(t, ts.URL, rq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", resp.StatusCode, cold)
+	}
+	if v := resp.Header.Get("X-Explaind-Version"); v != "0" {
+		t.Fatalf("cold version header %q, want 0", v)
+	}
+	if !bytes.Equal(cold, scenarioOneShot(t, sc.DB1, sc.DB2, sc, rq)) {
+		t.Fatal("cold body differs from one-shot Explain")
+	}
+	if resp, body := post(t, ts.URL, rq); resp.Header.Get("X-Explaind-Cache") != "hit" || !bytes.Equal(body, cold) {
+		t.Fatal("repeat must be a byte-identical cache hit")
+	}
+
+	// Delta to the spare relation: version bumps, but no cached answer read
+	// it, so nothing is invalidated and the repeat stays a hit.
+	resp, dres, raw := postDelta(t, ts.URL, "scen", serve.DeltaRequest{
+		DB1: map[string]serve.RelationDelta{
+			"Extra": {Appends: [][]any{{2, "y"}, {3.5, nil}}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extra delta status %d: %s", resp.StatusCode, raw)
+	}
+	if dres.Version != 1 || dres.Invalidated != 0 {
+		t.Fatalf("extra delta response = %+v, want version 1, invalidated 0", dres)
+	}
+	if st := dres.DB1["extra"]; st.OldRows != 1 || st.NewRows != 3 || st.Appended != 2 {
+		t.Fatalf("extra delta stats = %+v", dres.DB1)
+	}
+	resp, body := post(t, ts.URL, rq)
+	if resp.Header.Get("X-Explaind-Cache") != "hit" || !bytes.Equal(body, cold) {
+		t.Fatal("untouched-relation delta must not invalidate the cached answer")
+	}
+
+	// Impact-only delta to the queried relation: the cached answer dies,
+	// the prefix advances from version 0, and untouched partitions replay
+	// from the solution cache.
+	rel1 := sc.Spec.Name + "1"
+	r, err := sc.DB1.Relation(rel1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []serve.RowUpdate
+	var local relation.Delta
+	for _, ri := range []int{3, 41, 77} {
+		row := r.RowInto(nil, ri)
+		newVal := row[2].IntVal() + 57
+		updates = append(updates, serve.RowUpdate{Row: ri, Values: []any{
+			row[0].IntVal(), row[1].Str(), newVal, row[3].IntVal(),
+		}})
+		local.Updates = append(local.Updates, relation.RowUpdate{Row: ri, Values: relation.Tuple{
+			row[0], row[1], relation.Int(newVal), row[3],
+		}})
+	}
+	resp, dres, raw = postDelta(t, ts.URL, "scen", serve.DeltaRequest{
+		DB1: map[string]serve.RelationDelta{rel1: {Updates: updates}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("impact delta status %d: %s", resp.StatusCode, raw)
+	}
+	if dres.Version != 2 || dres.Invalidated != 1 {
+		t.Fatalf("impact delta response = %+v, want version 2, invalidated 1", dres)
+	}
+
+	ndb1, _, err := sc.DB1.ApplyDelta(relation.DBDelta{rel1: local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenarioOneShot(t, ndb1, sc.DB2, sc, rq)
+	resp, got := post(t, ts.URL, rq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-delta status %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Explaind-Cache") != "miss" {
+		t.Fatalf("post-delta disposition %q, want miss (entry was invalidated)", resp.Header.Get("X-Explaind-Cache"))
+	}
+	if v := resp.Header.Get("X-Explaind-Version"); v != "2" {
+		t.Fatalf("post-delta version header %q, want 2", v)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-delta body differs from fresh one-shot Explain on the new generation")
+	}
+
+	m := s.Metrics()
+	if m.DeltasApplied != 2 {
+		t.Fatalf("DeltasApplied = %d, want 2", m.DeltasApplied)
+	}
+	if m.DeltaRows != 2+3 {
+		t.Fatalf("DeltaRows = %d, want 5", m.DeltaRows)
+	}
+	if m.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", m.Invalidated)
+	}
+	if m.PrefixBuilds != 1 || m.PrefixAdvances != 1 {
+		t.Fatalf("PrefixBuilds/Advances = %d/%d, want 1/1 (fresh cold build, one advance across two versions)",
+			m.PrefixBuilds, m.PrefixAdvances)
+	}
+	if m.Solves != 2 {
+		t.Fatalf("Solves = %d, want 2", m.Solves)
+	}
+	if m.SolutionHits == 0 {
+		t.Fatal("solution cache never hit: untouched partitions must replay")
+	}
+	if m.DirtyPartitions == 0 || m.DirtyPartitions > 3 {
+		t.Fatalf("DirtyPartitions = %d, want 1..3 (three updated base rows)", m.DirtyPartitions)
+	}
+	if m.SolutionMisses <= m.DirtyPartitions {
+		t.Fatalf("SolutionMisses = %d: must include the cold solve's %d-partition build plus the dirty ones",
+			m.SolutionMisses, m.SolutionMisses-m.DirtyPartitions)
+	}
+}
+
+// TestDeltaWarmStart: with Options.WarmStart, a structurally identical
+// re-solve under different priors seeds from cached assignments and the
+// warm-start counters move.
+func TestDeltaWarmStart(t *testing.T) {
+	s, ts, sc := scenarioServer(t, serve.Options{WarmStart: true})
+	rq := scenarioRequest(sc)
+	if resp, body := post(t, ts.URL, rq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	rq2 := rq
+	rq2.Alpha = 0.91
+	if resp, body := post(t, ts.URL, rq2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if m := s.Metrics(); m.WarmStarts == 0 {
+		t.Fatalf("WarmStarts = 0 after structurally identical re-solve: %+v", m)
+	}
+}
+
+// TestDeltaValidation covers the endpoint's error paths; failed deltas must
+// not advance the version.
+func TestDeltaValidation(t *testing.T) {
+	_, ts, sc := scenarioServer(t, serve.Options{})
+	rel1 := sc.Spec.Name + "1"
+
+	resp, _, _ := postDelta(t, ts.URL, "nope", serve.DeltaRequest{
+		DB1: map[string]serve.RelationDelta{rel1: {Deletes: []int{0}}},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, err := http.Post(ts.URL+"/datasets/scen/delta", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, _, _ = postDelta(t, ts.URL, "scen", serve.DeltaRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty delta: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, _, raw := postDelta(t, ts.URL, "scen", serve.DeltaRequest{
+		DB1: map[string]serve.RelationDelta{rel1: {Deletes: []int{1 << 30}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range delete: status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+
+	resp, _, _ = postDelta(t, ts.URL, "scen", serve.DeltaRequest{
+		DB1: map[string]serve.RelationDelta{"ghost": {Deletes: []int{0}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown relation: status %d, want 400", resp.StatusCode)
+	}
+
+	getResp, err := http.Get(ts.URL + "/datasets/scen/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET delta: status %d, want 405", getResp.StatusCode)
+	}
+
+	var infos []struct {
+		Version int64 `json:"version"`
+	}
+	dresp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if len(infos) != 1 || infos[0].Version != 0 {
+		t.Fatalf("failed deltas must not advance the version: %+v", infos)
+	}
+}

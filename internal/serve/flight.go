@@ -11,11 +11,12 @@ import (
 // close, so the channel provides the ordering.
 type flight struct {
 	done chan struct{}
-	// body/status/errMsg are written by the runner before close(done).
-	body   []byte
-	status int
-	errMsg string
-	cancel context.CancelFunc
+	// body/status/errMsg/version are written by the runner before close(done).
+	body    []byte
+	status  int
+	errMsg  string
+	version int64
+	cancel  context.CancelFunc
 	// waiters counts requests attached to this flight. guarded by flightGroup.mu
 	waiters int
 	// abandoned marks that every waiter disconnected: the runner's context
@@ -88,10 +89,10 @@ func (g *flightGroup) wasAbandoned(f *flight) bool {
 // finish publishes the runner's result and releases the key. The runner
 // caches the body before calling finish, so by the time waiters wake up a
 // repeat request is already a cache hit.
-func (g *flightGroup) finish(key string, f *flight, body []byte, status int, errMsg string) {
+func (g *flightGroup) finish(key string, f *flight, body []byte, status int, errMsg string, version int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	f.body, f.status, f.errMsg = body, status, errMsg
+	f.body, f.status, f.errMsg, f.version = body, status, errMsg, version
 	close(f.done)
 	f.cancel() // release the context's resources
 	if g.flights[key] == f {

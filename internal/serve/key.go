@@ -44,8 +44,8 @@ func matchingText(m schemamap.Matching) string {
 // Workers is included because budget-limited solves return
 // timing-dependent incumbents that vary with parallelism.
 func cacheKey(dataset, q1c, q2c, mc string, rq *Request) string {
-	return fmt.Sprintf("ds=%s\x1fq1=%s\x1fq2=%s\x1fm=%s\x1fa=%g\x1fb=%g\x1fbatch=%d\x1fto=%d\x1fw=%d\x1fmst=%d\x1fminp=%g\x1fsum=%t",
+	return fmt.Sprintf("ds=%s\x1fq1=%s\x1fq2=%s\x1fm=%s\x1fa=%g\x1fb=%g\x1fbatch=%d\x1fto=%d\x1fw=%d\x1fmst=%d\x1fms=%g\x1fsh=%d\x1fminp=%g\x1fsum=%t",
 		dataset, q1c, q2c, mc,
 		rq.Alpha, rq.Beta, rq.BatchSize, rq.TimeoutMS, rq.Workers,
-		rq.MinSharedTokens, rq.MinProb, rq.NoSummary)
+		rq.MinSharedTokens, rq.MinSim, rq.Shards, rq.MinProb, rq.NoSummary)
 }

@@ -8,18 +8,28 @@
 //
 //   - datasets are registered once; their dictionaries are frozen
 //     (relation.Dict.Freeze) so concurrent readers take the lock-free path;
-//   - each side's Stage-1 prefix (provenance + canonicalization) and the
-//     right side's candidate index (core.PairIndex) are built once per
-//     canonical (query, matches) and shared;
+//   - each side's Stage-1 prefix (provenance + canonicalization), the right
+//     side's candidate index (core.PairIndex), and the full pair prefix
+//     (core.PairPrefix) are built once per canonical (query, matches) and
+//     shared;
 //   - finished responses are cached in an LRU keyed on the canonicalized
 //     (dataset-pair, query-pair, matches, params) tuple;
 //   - concurrent identical requests share one solve (single-flight), and a
 //     solve whose every client disconnected is cancelled through the
 //     request-context machinery (core.ExplainContext → milp.SolveContext).
 //
+// Datasets are versioned: POST /datasets/{name}/delta applies a
+// copy-on-write append/update/delete batch, atomically publishing a new
+// immutable generation while in-flight requests keep reading the old one.
+// Deltas invalidate only the result-cache entries whose queries read a
+// touched relation; Stage-1 prefixes advance incrementally from the
+// nearest cached ancestor generation (core.PairPrefix.Advance), and
+// unchanged MILP partitions replay from a per-dataset solution cache.
+//
 // Response bodies are byte-identical to one-shot Explain output for the
-// same inputs; cache disposition and timing travel in headers
-// (X-Explaind-Cache, X-Explaind-Elapsed-Ms), never in the body.
+// same inputs; cache disposition, timing, and the data version travel in
+// headers (X-Explaind-Cache, X-Explaind-Elapsed-Ms, X-Explaind-Version),
+// never in the body.
 package serve
 
 import (
@@ -59,6 +69,12 @@ type Request struct {
 	Workers int `json:"workers,omitempty"`
 	// MinSharedTokens raises the blocking threshold of the initial mapping.
 	MinSharedTokens int `json:"min_shared_tokens,omitempty"`
+	// MinSim drops candidate pairs below this similarity (0 = library
+	// default).
+	MinSim float64 `json:"min_sim,omitempty"`
+	// Shards splits the candidate index into that many token-hash shards
+	// (0 = library default, 1 = unsharded).
+	Shards int `json:"shards,omitempty"`
 	// MinProb drops initial matches below this probability (0 = 0.02).
 	MinProb float64 `json:"min_prob,omitempty"`
 	// NoSummary disables Stage-3 pattern summaries.
@@ -71,6 +87,24 @@ type Options struct {
 	CacheSize int
 	// MaxWorkers caps the per-request Workers budget (0 = uncapped).
 	MaxWorkers int
+	// WarmStart additionally seeds changed partitions' MILP solves from the
+	// last optimal assignment with the same model structure. The solver
+	// still proves optimality, but among TIED optima a different one may be
+	// returned — so responses are no longer guaranteed byte-identical to a
+	// fresh one-shot Explain, and the option is off by default.
+	WarmStart bool
+}
+
+// ConflictError reports a Register against a name that is already taken.
+// Callers distinguish it from other registration failures with errors.As.
+type ConflictError struct {
+	// Name is the dataset name that was already registered.
+	Name string
+}
+
+// Error implements the error interface.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("serve: dataset %q already registered", e.Name)
 }
 
 // Metrics is a point-in-time snapshot of the server's counters.
@@ -90,14 +124,41 @@ type Metrics struct {
 	Errors       int64 `json:"errors"`
 	CachedBodies int64 `json:"cached_bodies"`
 	Datasets     int64 `json:"datasets"`
+	// DeltasApplied counts delta batches accepted; DeltaRows totals their
+	// appended+updated+deleted rows.
+	DeltasApplied int64 `json:"deltas_applied"`
+	DeltaRows     int64 `json:"delta_rows"`
+	// Invalidated counts result-cache entries dropped because a delta
+	// touched a relation their queries read.
+	Invalidated int64 `json:"invalidated"`
+	// PrefixAdvances counts Stage-1 prefixes advanced incrementally from an
+	// ancestor generation; PrefixBuilds counts prefixes built from scratch.
+	PrefixAdvances int64 `json:"prefix_advances"`
+	PrefixBuilds   int64 `json:"prefix_builds"`
+	// DirtyPartitions totals solution-cache misses of solves that ran on an
+	// incrementally advanced prefix — the partitions a delta actually
+	// dirtied (per delta: DirtyPartitions / DeltasApplied).
+	DirtyPartitions int64 `json:"dirty_partitions"`
+	// SolutionHits/SolutionMisses aggregate the per-dataset solution caches;
+	// the hit rate is the fraction of MILP sub-problems never re-solved.
+	SolutionHits   int64 `json:"solution_hits"`
+	SolutionMisses int64 `json:"solution_misses"`
+	// WarmStarts/WarmItersSaved aggregate warm-start reuse (Options.WarmStart):
+	// sub-problems seeded from a cached assignment and the simplex
+	// iterations saved versus the previous solve of that structure.
+	WarmStarts     int64 `json:"warm_starts"`
+	WarmItersSaved int64 `json:"warm_iters_saved"`
 }
 
 // sideEntry / indexEntry build a cached prefix exactly once; concurrent
-// requests for the same key share the build through the sync.Once.
+// requests for the same key share the build through the sync.Once. done
+// flips after the Once completes so ancestor walks can check for a
+// finished build without blocking behind an in-flight one.
 type sideEntry struct {
 	once sync.Once
 	side *core.BuiltSide
 	err  error
+	done atomic.Bool
 }
 
 type indexEntry struct {
@@ -106,44 +167,158 @@ type indexEntry struct {
 	err  error
 }
 
-// Dataset is one registered dataset pair plus its per-(query, matches)
-// Stage-1 prefix caches. The databases are shared immutable state: their
-// dictionaries are frozen at registration and relations are append-only
-// and never appended to again.
-type Dataset struct {
-	Name     string
-	DB1, DB2 *relation.Database
+// prefixEntry is one pair prefix under construction or built; done closes
+// when pp/diff/err are final, so ancestor walks can check completion
+// without blocking.
+type prefixEntry struct {
+	done chan struct{}
+	// pp/advanced/err are written by the builder before close(done).
+	pp       *core.PairPrefix
+	advanced bool
+	err      error
+}
+
+// dataVersion is one immutable copy-on-write generation of a dataset pair,
+// plus the per-(query, matches) Stage-1 caches built against it. In-flight
+// requests hold the generation they started on; a delta publishes a new
+// one without disturbing them.
+type dataVersion struct {
+	version  int64
+	db1, db2 *relation.Database
+	// parent links to the previous generation so prefixes can advance
+	// incrementally; the chain is trimmed to maxVersionChain so retired
+	// generations (and their caches) become collectable.
+	parent atomic.Pointer[dataVersion]
 
 	mu sync.Mutex
 	// guarded by mu
 	sides map[string]*sideEntry
 	// guarded by mu
 	indexes map[string]*indexEntry
+	// guarded by mu
+	prefixes map[string]*prefixEntry
 }
 
-func (d *Dataset) side(key string, build func() (*core.BuiltSide, error)) (*core.BuiltSide, error) {
-	d.mu.Lock()
-	e, ok := d.sides[key]
+// maxVersionChain bounds how many ancestor generations stay reachable for
+// incremental prefix advance.
+const maxVersionChain = 8
+
+func newDataVersion(version int64, db1, db2 *relation.Database) *dataVersion {
+	return &dataVersion{
+		version: version, db1: db1, db2: db2,
+		//lint:ignore guarded constructor: the fresh version is not shared until published
+		sides: make(map[string]*sideEntry), indexes: make(map[string]*indexEntry), prefixes: make(map[string]*prefixEntry),
+	}
+}
+
+func (v *dataVersion) side(key string, build func() (*core.BuiltSide, error)) (*core.BuiltSide, error) {
+	v.mu.Lock()
+	e, ok := v.sides[key]
 	if !ok {
 		e = &sideEntry{}
-		d.sides[key] = e
+		v.sides[key] = e
 	}
-	d.mu.Unlock()
+	v.mu.Unlock()
 	e.once.Do(func() { e.side, e.err = build() })
+	e.done.Store(true)
 	return e.side, e.err
 }
 
-func (d *Dataset) index(key string, build func() (*core.PairIndex, error)) (*core.PairIndex, error) {
-	d.mu.Lock()
-	e, ok := d.indexes[key]
+// completedSide returns the version's finished, successful side build for
+// key, or nil — without blocking on an in-progress build.
+func (v *dataVersion) completedSide(key string) *core.BuiltSide {
+	v.mu.Lock()
+	e := v.sides[key]
+	v.mu.Unlock()
+	if e != nil && e.done.Load() && e.err == nil {
+		return e.side
+	}
+	return nil
+}
+
+// ancestorSide returns the nearest ancestor generation's built side for key
+// when every relation the query reads is pointer-identical between the two
+// generations. After a delta that touched only other tables — or only the
+// opposite database — the copy-on-write chain shares the untouched
+// relations, so the ancestor's canonicalized side is reusable verbatim.
+func (v *dataVersion) ancestorSide(key string, q *sqlparse.Select, db func(*dataVersion) *relation.Database) *core.BuiltSide {
+	for anc := v.parent.Load(); anc != nil; anc = anc.parent.Load() {
+		if !sameReadSet(q, db(v), db(anc)) {
+			return nil
+		}
+		if bs := anc.completedSide(key); bs != nil {
+			return bs
+		}
+	}
+	return nil
+}
+
+// sameReadSet reports whether every relation q reads is the same object in
+// both databases.
+func sameReadSet(q *sqlparse.Select, a, b *relation.Database) bool {
+	for _, t := range q.Tables() {
+		ra, errA := a.Relation(t)
+		rb, errB := b.Relation(t)
+		if errA != nil || errB != nil || ra != rb {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *dataVersion) index(key string, build func() (*core.PairIndex, error)) (*core.PairIndex, error) {
+	v.mu.Lock()
+	e, ok := v.indexes[key]
 	if !ok {
 		e = &indexEntry{}
-		d.indexes[key] = e
+		v.indexes[key] = e
 	}
-	d.mu.Unlock()
+	v.mu.Unlock()
 	e.once.Do(func() { e.ix, e.err = build() })
 	return e.ix, e.err
 }
+
+// completedPrefix returns the version's finished, successful prefix for
+// key, or nil — without blocking on an in-progress build.
+func (v *dataVersion) completedPrefix(key string) *core.PairPrefix {
+	v.mu.Lock()
+	e := v.prefixes[key]
+	v.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	select {
+	case <-e.done:
+		if e.err == nil {
+			return e.pp
+		}
+	default:
+	}
+	return nil
+}
+
+// Dataset is one registered dataset pair. Its data lives in an atomically
+// swapped chain of immutable generations; the solution cache is shared
+// across generations so unchanged MILP partitions replay for free.
+type Dataset struct {
+	Name string
+
+	cur atomic.Pointer[dataVersion]
+	// deltaMu serializes delta application so versions advance one at a
+	// time; readers never take it.
+	deltaMu sync.Mutex
+	solve   *core.SolveCache
+}
+
+// current returns the generation new requests start on.
+func (d *Dataset) current() *dataVersion { return d.cur.Load() }
+
+// Version returns the dataset's current data version (0 until the first
+// delta).
+func (d *Dataset) Version() int64 { return d.current().version }
+
+// SolveCacheStats snapshots the dataset's solution-cache counters.
+func (d *Dataset) SolveCacheStats() core.SolveCacheStats { return d.solve.Stats() }
 
 // Server answers explanation requests over registered dataset pairs.
 type Server struct {
@@ -161,6 +336,8 @@ type Server struct {
 
 	requests, cacheHits, cacheMisses, flightJoins, solves atomic.Int64
 	sideBuilds, indexBuilds, cancelled, errCount          atomic.Int64
+	deltasApplied, deltaRows                              atomic.Int64
+	prefixAdvances, prefixBuilds, dirtyPartitions         atomic.Int64
 
 	// SolveHook, when set, runs at the start of every actual solve (after
 	// single-flight deduplication). Tests use it to hold solves open while
@@ -192,22 +369,22 @@ func (s *Server) Close() { s.baseCancel() }
 
 // Register adds a dataset pair under a name, freezing both databases'
 // dictionaries so concurrent request handling reads them lock-free. The
-// caller must not mutate the databases afterwards.
+// caller must not mutate the databases afterwards (apply deltas through
+// the server instead). A name collision returns a *ConflictError and
+// leaves the existing dataset untouched.
 func (s *Server) Register(name string, db1, db2 *relation.Database) error {
 	if name == "" {
 		return fmt.Errorf("serve: dataset name must be non-empty")
 	}
 	db1.FreezeDicts()
 	db2.FreezeDicts()
-	ds := &Dataset{
-		Name: name, DB1: db1, DB2: db2,
-		sides:   make(map[string]*sideEntry),
-		indexes: make(map[string]*indexEntry),
-	}
+	ds := &Dataset{Name: name, solve: core.NewSolveCache(0)}
+	ds.solve.Warm = s.opts.WarmStart
+	ds.cur.Store(newDataVersion(0, db1, db2))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.datasets[name]; dup {
-		return fmt.Errorf("serve: dataset %q already registered", name)
+		return &ConflictError{Name: name}
 	}
 	s.datasets[name] = ds
 	return nil
@@ -225,20 +402,38 @@ func (s *Server) Dataset(name string) (*Dataset, bool) {
 func (s *Server) Metrics() Metrics {
 	s.mu.RLock()
 	n := len(s.datasets)
+	var sol core.SolveCacheStats
+	for _, ds := range s.datasets {
+		st := ds.solve.Stats()
+		sol.Hits += st.Hits
+		sol.Misses += st.Misses
+		sol.WarmStarts += st.WarmStarts
+		sol.WarmItersSaved += st.WarmItersSaved
+	}
 	s.mu.RUnlock()
 	return Metrics{
-		Requests:     s.requests.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		Evictions:    s.cache.evicted(),
-		FlightJoins:  s.flightJoins.Load(),
-		Solves:       s.solves.Load(),
-		SideBuilds:   s.sideBuilds.Load(),
-		IndexBuilds:  s.indexBuilds.Load(),
-		Cancelled:    s.cancelled.Load(),
-		Errors:       s.errCount.Load(),
-		CachedBodies: int64(s.cache.len()),
-		Datasets:     int64(n),
+		Requests:        s.requests.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		Evictions:       s.cache.evicted(),
+		FlightJoins:     s.flightJoins.Load(),
+		Solves:          s.solves.Load(),
+		SideBuilds:      s.sideBuilds.Load(),
+		IndexBuilds:     s.indexBuilds.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Errors:          s.errCount.Load(),
+		CachedBodies:    int64(s.cache.len()),
+		Datasets:        int64(n),
+		DeltasApplied:   s.deltasApplied.Load(),
+		DeltaRows:       s.deltaRows.Load(),
+		Invalidated:     s.cache.invalidated(),
+		PrefixAdvances:  s.prefixAdvances.Load(),
+		PrefixBuilds:    s.prefixBuilds.Load(),
+		DirtyPartitions: s.dirtyPartitions.Load(),
+		SolutionHits:    sol.Hits,
+		SolutionMisses:  sol.Misses,
+		WarmStarts:      sol.WarmStarts,
+		WarmItersSaved:  sol.WarmItersSaved,
 	}
 }
 
@@ -247,6 +442,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /datasets/{name}/delta", s.handleDelta)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -265,14 +461,16 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	type dsInfo struct {
-		Name  string `json:"name"`
-		Rows1 int    `json:"rows1"`
-		Rows2 int    `json:"rows2"`
+		Name    string `json:"name"`
+		Rows1   int    `json:"rows1"`
+		Rows2   int    `json:"rows2"`
+		Version int64  `json:"version"`
 	}
 	s.mu.RLock()
 	out := make([]dsInfo, 0, len(s.datasets))
 	for _, ds := range s.datasets {
-		out = append(out, dsInfo{Name: ds.Name, Rows1: ds.DB1.TotalRows(), Rows2: ds.DB2.TotalRows()})
+		dv := ds.current()
+		out = append(out, dsInfo{Name: ds.Name, Rows1: dv.db1.TotalRows(), Rows2: dv.db2.TotalRows(), Version: dv.version})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -332,9 +530,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey(ds.Name, q1c, q2c, mc, &rq)
 
-	if body, ok := s.cache.get(key); ok {
+	if body, ver, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
-		writeResult(w, body, "hit", start)
+		writeResult(w, body, "hit", ver, start)
 		return
 	}
 	s.cacheMisses.Add(1)
@@ -354,7 +552,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			httpError(w, f.status, "%s", f.errMsg)
 			return
 		}
-		writeResult(w, f.body, disposition, start)
+		writeResult(w, f.body, disposition, f.version, start)
 	case <-r.Context().Done():
 		// Client gone: detach; the last detachment cancels the solve.
 		s.cancelled.Add(1)
@@ -368,83 +566,163 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runFlight(ctx context.Context, key string, f *flight, ds *Dataset, rq *Request, q1, q2 *sqlparse.Select, mattr schemamap.Matching) {
 	// A prior flight may have finished between this request's cache miss
 	// and its flight registration; re-check before paying for a solve.
-	if body, ok := s.cache.get(key); ok {
+	if body, ver, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
-		s.flights.finish(key, f, body, http.StatusOK, "")
+		s.flights.finish(key, f, body, http.StatusOK, "", ver)
 		return
 	}
 	if s.SolveHook != nil {
 		s.SolveHook()
 	}
 	s.solves.Add(1)
-	body, status, errMsg := s.solve(ctx, ds, rq, q1, q2, mattr)
+	// The whole solve runs against one generation snapshot; a delta landing
+	// mid-solve does not disturb it.
+	dv := ds.current()
+	body, status, errMsg, tags := s.solve(ctx, ds, dv, rq, q1, q2, mattr)
 	// An abandoned flight ran under a cancelled context: its output may be
 	// a partial incumbent, which must not be served to future requests. A
 	// completed solve whose last waiter left after it finished is whole
-	// and safe to cache.
-	if errMsg == "" && !s.flights.wasAbandoned(f) {
-		s.cache.put(key, body)
+	// and safe to cache. A solve whose generation was superseded mid-flight
+	// is stale: a delta's invalidation sweep already ran, so caching it
+	// could resurrect an answer the delta changed.
+	if errMsg == "" && !s.flights.wasAbandoned(f) && ds.current() == dv {
+		s.cache.put(key, body, ds.Name, tags, dv.version)
 	}
-	s.flights.finish(key, f, body, status, errMsg)
+	s.flights.finish(key, f, body, status, errMsg, dv.version)
 }
 
-// solve runs the explanation with the dataset's cached Stage-1 prefixes.
-func (s *Server) solve(ctx context.Context, ds *Dataset, rq *Request, q1, q2 *sqlparse.Select, mattr schemamap.Matching) (body []byte, status int, errMsg string) {
+// solve runs the explanation on one generation's cached Stage-1 prefix.
+func (s *Server) solve(ctx context.Context, ds *Dataset, dv *dataVersion, rq *Request, q1, q2 *sqlparse.Select, mattr schemamap.Matching) (body []byte, status int, errMsg string, tags []string) {
 	popt := linkage.DefaultPairOptions()
 	if rq.MinSharedTokens > 0 {
 		popt.MinSharedTokens = rq.MinSharedTokens
 	}
-	// The canonical query text and matches identify each side's prefix; the
-	// parsed forms round-trip through String(), so q1.String() is q1c.
-	q1c, q2c, mc := q1.String(), q2.String(), matchingText(mattr)
-	side1, err := ds.side("L\x1f"+q1c+"\x1f"+mc, func() (*core.BuiltSide, error) {
-		s.sideBuilds.Add(1)
-		return core.BuildSide(q1, ds.DB1, mattr.LeftAttrs(), "Q1")
-	})
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err.Error()
+	if rq.MinSim > 0 {
+		popt.MinSim = rq.MinSim
 	}
-	side2, err := ds.side("R\x1f"+q2c+"\x1f"+mc, func() (*core.BuiltSide, error) {
-		s.sideBuilds.Add(1)
-		return core.BuildSide(q2, ds.DB2, mattr.RightAttrs(), "Q2")
-	})
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err.Error()
-	}
-	ixKey := fmt.Sprintf("%s\x1f%s\x1f%g|%t|%d", q2c, mc, popt.MinSim, popt.Block, popt.MinSharedTokens)
-	pi, err := ds.index(ixKey, func() (*core.PairIndex, error) {
-		s.indexBuilds.Add(1)
-		return core.BuildPairIndex(side2.Canon, mattr, popt)
-	})
-	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err.Error()
+	if rq.Shards > 0 {
+		popt.Shards = rq.Shards
 	}
 	params := explain3d.CoreParams(&explain3d.Options{
 		Alpha: rq.Alpha, Beta: rq.Beta, BatchSize: rq.BatchSize,
 		SolverTimeout: time.Duration(rq.TimeoutMS) * time.Millisecond,
 		NoSummary:     rq.NoSummary, Workers: rq.Workers,
 	})
-	res, err := core.ExplainContext(ctx, core.Input{
-		DB1: ds.DB1, DB2: ds.DB2, Q1: q1, Q2: q2, Mattr: mattr,
-		MinProb: rq.MinProb, PairOpts: &popt,
-		Side1: side1, Side2: side2, RightIndex: pi,
-	}, params)
+	pp, advanced, err := s.prefixFor(dv, q1, q2, mattr, popt, params.Workers)
 	if err != nil {
-		return nil, http.StatusUnprocessableEntity, err.Error()
+		return nil, http.StatusUnprocessableEntity, err.Error(), nil
+	}
+	res, err := core.ExplainPrefixContext(ctx, pp, nil, rq.MinProb, params, ds.solve)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err.Error(), nil
+	}
+	if advanced {
+		s.dirtyPartitions.Add(int64(res.Stats.SolveCacheMisses))
 	}
 	out := explain3d.ConvertResult(res, !rq.NoSummary)
 	b, err := json.Marshal(out)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err.Error()
+		return nil, http.StatusInternalServerError, err.Error(), nil
 	}
-	return b, http.StatusOK, ""
+	return b, http.StatusOK, "", queryTags(q1, q2)
 }
 
-// writeResult writes a finished body with cache/timing metadata in headers,
-// keeping the body byte-identical to one-shot output.
-func writeResult(w http.ResponseWriter, body []byte, disposition string, start time.Time) {
+// prefixFor returns the generation's pair prefix for the canonical
+// (q1, q2, matches, options) tuple, building it at most once: fresh on a
+// first-ever ask, or advanced incrementally from the nearest ancestor
+// generation that already holds it. advanced reports which path built it.
+func (s *Server) prefixFor(dv *dataVersion, q1, q2 *sqlparse.Select, mattr schemamap.Matching, popt linkage.PairOptions, workers int) (pp *core.PairPrefix, advanced bool, err error) {
+	q1c, q2c, mc := q1.String(), q2.String(), matchingText(mattr)
+	poptSig := fmt.Sprintf("%g|%t|%d|%d", popt.MinSim, popt.Block, popt.MinSharedTokens, popt.Shards)
+	key := q1c + "\x1f" + q2c + "\x1f" + mc + "\x1f" + poptSig
+
+	dv.mu.Lock()
+	e, ok := dv.prefixes[key]
+	if !ok {
+		e = &prefixEntry{done: make(chan struct{})}
+		dv.prefixes[key] = e
+	}
+	dv.mu.Unlock()
+	if ok {
+		<-e.done
+		return e.pp, e.advanced, e.err
+	}
+	defer close(e.done)
+	e.pp, e.advanced, e.err = s.buildPrefix(dv, key, q1c, q2c, mc, poptSig, q1, q2, mattr, popt, workers)
+	return e.pp, e.advanced, e.err
+}
+
+func (s *Server) buildPrefix(dv *dataVersion, key, q1c, q2c, mc, poptSig string, q1, q2 *sqlparse.Select, mattr schemamap.Matching, popt linkage.PairOptions, workers int) (*core.PairPrefix, bool, error) {
+	db1of := func(v *dataVersion) *relation.Database { return v.db1 }
+	db2of := func(v *dataVersion) *relation.Database { return v.db2 }
+	side1, err := dv.side("L\x1f"+q1c+"\x1f"+mc, func() (*core.BuiltSide, error) {
+		if bs := dv.ancestorSide("L\x1f"+q1c+"\x1f"+mc, q1, db1of); bs != nil {
+			return bs, nil
+		}
+		s.sideBuilds.Add(1)
+		return core.BuildSide(q1, dv.db1, mattr.LeftAttrs(), "Q1")
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	side2, err := dv.side("R\x1f"+q2c+"\x1f"+mc, func() (*core.BuiltSide, error) {
+		if bs := dv.ancestorSide("R\x1f"+q2c+"\x1f"+mc, q2, db2of); bs != nil {
+			return bs, nil
+		}
+		s.sideBuilds.Add(1)
+		return core.BuildSide(q2, dv.db2, mattr.RightAttrs(), "Q2")
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// Nearest ancestor generation holding this prefix: advance it instead
+	// of rebuilding — survivors keep their similarities, the candidate
+	// index shares untouched posting lists, and the raw match list stays
+	// byte-identical to a fresh build.
+	for v := dv.parent.Load(); v != nil; v = v.parent.Load() {
+		anc := v.completedPrefix(key)
+		if anc == nil {
+			continue
+		}
+		npp, _, err := anc.Advance(side1, side2, workers)
+		if err != nil {
+			return nil, false, err
+		}
+		s.prefixAdvances.Add(1)
+		return npp, true, nil
+	}
+	ixKey := q2c + "\x1f" + mc + "\x1f" + poptSig
+	pi, err := dv.index(ixKey, func() (*core.PairIndex, error) {
+		s.indexBuilds.Add(1)
+		return core.BuildPairIndex(side2.Canon, mattr, popt)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	s.prefixBuilds.Add(1)
+	pp, err := core.BuildPairPrefixFrom(side1, side2, mattr, pi, workers)
+	return pp, false, err
+}
+
+// queryTags renders the relations the two queries read as side-prefixed
+// lowercase tags — the result cache's invalidation scope.
+func queryTags(q1, q2 *sqlparse.Select) []string {
+	var tags []string
+	for _, t := range q1.Tables() {
+		tags = append(tags, "1:"+lowerName(t))
+	}
+	for _, t := range q2.Tables() {
+		tags = append(tags, "2:"+lowerName(t))
+	}
+	return tags
+}
+
+// writeResult writes a finished body with cache/timing/version metadata in
+// headers, keeping the body byte-identical to one-shot output.
+func writeResult(w http.ResponseWriter, body []byte, disposition string, version int64, start time.Time) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Explaind-Cache", disposition)
+	w.Header().Set("X-Explaind-Version", fmt.Sprintf("%d", version))
 	w.Header().Set("X-Explaind-Elapsed-Ms", fmt.Sprintf("%.3f", float64(time.Since(start).Microseconds())/1000))
 	w.Write(body)
 }

@@ -234,6 +234,29 @@ type Select struct {
 	GroupBy  []*ColumnRef
 }
 
+// Tables returns the distinct base-table names the query reads, in first-
+// reference order, recursing through FROM subqueries. Callers use it to
+// scope cache invalidation to the relations a delta actually touched.
+func (s *Select) Tables() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(q *Select)
+	walk = func(q *Select) {
+		for _, f := range q.From {
+			if f.Sub != nil {
+				walk(f.Sub)
+				continue
+			}
+			if f.Table != "" && !seen[f.Table] {
+				seen[f.Table] = true
+				out = append(out, f.Table)
+			}
+		}
+	}
+	walk(s)
+	return out
+}
+
 // String reconstructs SQL text for the query.
 func (s *Select) String() string {
 	var b strings.Builder
